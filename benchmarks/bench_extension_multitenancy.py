@@ -1,0 +1,83 @@
+"""Extension — GPU co-tenancy: how much sharing can AR survive?
+
+§3.1 positions containerized AR for "multi-tenant edge environments";
+§5 warns that vertical scaling "must deal with resource contention,
+which is critical especially for GPUs".  This bench quantifies it:
+scAtteR++ on E1 serves 2 clients while background tenants occupy both
+of E1's GPUs at increasing duty cycles.  GPU kernels serialize on the
+execution slot, so co-tenant duty translates directly into queueing
+ahead of the AR stages.
+"""
+
+import numpy as np
+
+from repro.cluster.tenants import BackgroundTenant
+from repro.cluster.testbed import build_paper_testbed
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import DRAIN_S
+from repro.orchestra.orchestrator import Orchestrator
+from repro.scatter.client import ArClient
+from repro.scatter.config import uniform_config
+from repro.scatter.pipeline import ScatterPipeline
+from repro.scatterpp.pipeline import scatterpp_pipeline_kwargs
+from repro.sim import RngRegistry, Simulator
+
+DURATION_S = 30.0
+CLIENTS = 2
+DUTY_CYCLES = (0.0, 0.2, 0.4)
+
+
+def run_with_tenants(duty_cycle: float):
+    sim = Simulator()
+    rng = RngRegistry(0)
+    testbed = build_paper_testbed(sim, rng, num_clients=CLIENTS)
+    orchestrator = Orchestrator(testbed)
+    pipeline = ScatterPipeline(testbed, orchestrator,
+                               uniform_config("E1", "e1"),
+                               **scatterpp_pipeline_kwargs())
+    pipeline.deploy()
+    orchestrator.start()
+
+    for index, gpu in enumerate(testbed.machine("e1").gpus):
+        tenant = BackgroundTenant(
+            sim, gpu=gpu, duty_cycle=duty_cycle,
+            rng=rng.stream(f"tenant.{index}"))
+        tenant.start()
+
+    clients = [ArClient(client_id=i, node=node,
+                        network=testbed.network,
+                        registry=orchestrator.registry,
+                        rng=rng.stream(f"client.{i}"))
+               for i, node in enumerate(testbed.client_nodes)]
+    for client in clients:
+        client.start(DURATION_S)
+    sim.run(until=DURATION_S + DRAIN_S)
+    latencies = [lat for c in clients for lat in c.stats.e2e_latencies_s]
+    return {
+        "duty": duty_cycle,
+        "fps": float(np.mean([c.stats.fps(DURATION_S)
+                              for c in clients])),
+        "e2e_ms": 1000.0 * float(np.mean(latencies)) if latencies else 0.0,
+        "gpu_util": orchestrator.monitor.mean_gpu("e1"),
+    }
+
+
+def test_extension_multitenancy(benchmark, save_result):
+    rows = benchmark.pedantic(
+        lambda: [run_with_tenants(d) for d in DUTY_CYCLES],
+        rounds=1, iterations=1)
+
+    save_result("extension_multitenancy", format_table(
+        ["tenant duty", "FPS", "E2E(ms)", "GPU util"],
+        [[row["duty"], row["fps"], row["e2e_ms"], row["gpu_util"]]
+         for row in rows]))
+
+    by_duty = {row["duty"]: row for row in rows}
+    # Contention costs QoS monotonically...
+    assert by_duty[0.2]["fps"] <= by_duty[0.0]["fps"]
+    assert by_duty[0.4]["fps"] < by_duty[0.0]["fps"]
+    assert by_duty[0.4]["e2e_ms"] > by_duty[0.0]["e2e_ms"]
+    # ...and 40% co-tenant duty takes a visible bite.
+    assert by_duty[0.4]["fps"] < by_duty[0.0]["fps"] * 0.9
+    # The orchestrator's GPU gauge rises with tenancy, as it should.
+    assert by_duty[0.4]["gpu_util"] > by_duty[0.0]["gpu_util"]

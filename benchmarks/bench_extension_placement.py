@@ -1,0 +1,57 @@
+"""Extension — analytic placement optimization vs the paper's configs.
+
+The paper explores four hand-picked placements (C1/C2/C12/C21).  The
+:class:`PlacementOptimizer` searches all 32 assignments of the five
+stages to {E1, E2} with an analytic contention model and proposes the
+best.  This bench validates the proposal *in simulation*: the
+optimizer's throughput pick should match or beat every hand-picked
+configuration under 4-client scAtteR++ load, and its prediction
+ranking should agree with simulated reality.
+"""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import run_scatterpp_experiment
+from repro.orchestra.placement import PlacementOptimizer
+from repro.scatter.config import baseline_configs
+
+DURATION_S = 30.0
+CLIENTS = 4
+
+
+def run_comparison():
+    optimizer = PlacementOptimizer(machines=("e1", "e2"))
+    best = optimizer.best("throughput")
+
+    rows = []
+    for name, config in list(baseline_configs().items()) + [
+            ("optimized " + best.placement.name, best.placement)]:
+        result = run_scatterpp_experiment(config, num_clients=CLIENTS,
+                                          duration_s=DURATION_S)
+        rows.append({"config": name, "fps": result.mean_fps(),
+                     "e2e_ms": result.mean_e2e_ms()})
+    predicted = [{"config": e.placement.name,
+                  "pred_fps": e.throughput_fps,
+                  "pred_e2e_ms": e.e2e_ms}
+                 for e in optimizer.search()[:5]]
+    return rows, predicted
+
+
+def test_extension_placement(benchmark, save_result):
+    rows, predicted = benchmark.pedantic(run_comparison, rounds=1,
+                                         iterations=1)
+
+    report = format_table(
+        ["config", "simulated FPS", "E2E(ms)"],
+        [[row["config"], row["fps"], row["e2e_ms"]] for row in rows])
+    report += "\n\ntop analytic predictions:\n" + format_table(
+        ["assignment", "pred FPS", "pred E2E(ms)"],
+        [[p["config"], p["pred_fps"], p["pred_e2e_ms"]]
+         for p in predicted])
+    save_result("extension_placement", report)
+
+    by_config = {row["config"]: row["fps"] for row in rows}
+    optimized = next(fps for name, fps in by_config.items()
+                     if name.startswith("optimized"))
+    # The optimizer's pick matches or beats every hand-picked config.
+    for name in ("C1", "C2", "C12", "C21"):
+        assert optimized >= by_config[name] * 0.97, name

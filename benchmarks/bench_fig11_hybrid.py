@@ -1,0 +1,39 @@
+"""Figure 11 — hybrid edge-cloud deployment [E1, C, C, C, C].
+
+Regenerates scAtteR QoS with ``primary`` at the edge and the rest of
+the pipeline in the cloud, against the cloud-only reference.
+
+Paper shapes asserted: the hybrid split performs clearly worse than
+cloud-only (frame drops on the edge→cloud public-Internet transit are
+the primary contributor, per A.1.2), and stays far below the edge's
+real-time framerate at every client count.
+"""
+
+from repro.experiments.figures import fig11_hybrid
+from repro.experiments.reporting import qos_table, service_metric_table
+
+DURATION_S = 45.0
+
+
+def test_fig11_hybrid(benchmark, save_result):
+    rows = benchmark.pedantic(
+        lambda: fig11_hybrid(duration_s=DURATION_S),
+        rounds=1, iterations=1)
+
+    report = "\n\n".join([
+        qos_table(rows),
+        service_metric_table(rows, "service_latency_ms", "lat_ms"),
+    ])
+    save_result("fig11_hybrid", report)
+
+    by_key = {(row["config"], row["clients"]): row for row in rows}
+    # Hybrid is the loser at light load, where the transit loss (and
+    # not pipeline saturation) dominates.
+    assert by_key[("hybrid", 1)]["fps"] < \
+        by_key[("cloud", 1)]["fps"] * 0.75
+    # Severe degradation: the hybrid split stays below 15 FPS even
+    # with a single client (Fig. 11's y-axis tops out at 15).
+    for clients in (1, 2, 3, 4):
+        assert by_key[("hybrid", clients)]["fps"] <= 15.0, clients
+    # Success rate reflects the lossy edge→cloud path.
+    assert by_key[("hybrid", 1)]["success_rate"] < 0.60

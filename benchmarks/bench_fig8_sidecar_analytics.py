@@ -1,0 +1,47 @@
+"""Figure 8 — sidecar analytics under a 1→10 client ramp.
+
+Regenerates the per-service ingress FPS and queue drop ratio as
+clients join the scaled [1,3,2,1,3] scAtteR++ deployment at fixed
+intervals.
+
+Paper shapes asserted: every service keeps up at low load with ≈0
+drop ratio; primary ingests the full offered rate (its max throughput
+is ≈240 FPS); the late pipeline stages plateau while their drop ratio
+climbs to tens of percent as the pipeline saturates.
+"""
+
+from repro.experiments.figures import fig8_sidecar_analytics
+from repro.experiments.reporting import analytics_table
+
+STAGE_S = 10.0
+
+
+def test_fig8_sidecar_analytics(benchmark, save_result):
+    report = benchmark.pedantic(
+        lambda: fig8_sidecar_analytics(max_clients=10, stage_s=STAGE_S),
+        rounds=1, iterations=1)
+
+    save_result("fig8_sidecar_analytics", analytics_table(report))
+
+    services = report["services"]
+
+    def stage(service, clients):
+        return services[service][clients - 1]
+
+    # Low load: everything keeps up, nothing is dropped.
+    for service in services:
+        assert stage(service, 1)["drop_ratio"] <= 0.05, service
+
+    # primary ingests the offered rate up to its ≈240 FPS ceiling.
+    assert stage("primary", 8)["ingress_fps"] >= 200.0
+    assert stage("primary", 2)["ingress_fps"] >= 55.0
+
+    # Saturation: by ten clients the pipeline drops a large share of
+    # queued frames somewhere past the ingress (§5: 40-50%).
+    worst_drop = max(stage(s, 10)["drop_ratio"]
+                     for s in ("sift", "encoding", "lsh", "matching"))
+    assert worst_drop >= 0.30
+
+    # Late-stage ingress plateaus: matching's ingress at 10 clients is
+    # far below the offered 300 FPS.
+    assert stage("matching", 10)["ingress_fps"] <= 150.0

@@ -1,0 +1,45 @@
+"""Headline claims (§1/§5): capacity and framerate multipliers.
+
+Regenerates the paper's top-line numbers: scAtteR++ vs scAtteR
+framerate at four concurrent clients (paper: ≈2.5-4×), the
+single-client success-rate gain (paper: +17.6%), and the concurrent
+client capacity multiplier of the scaled deployment (paper: ≈2.75-2.8×).
+"""
+
+from repro.experiments.figures import headline_capacity
+from repro.experiments.reporting import format_table
+
+DURATION_S = 30.0
+
+
+def test_headline_capacity(benchmark, save_result):
+    report = benchmark.pedantic(
+        lambda: headline_capacity(duration_s=DURATION_S),
+        rounds=1, iterations=1)
+
+    rows = [
+        ["scAtteR FPS @4 clients", report["scatter_fps_4_clients"]],
+        ["scAtteR++ FPS @4 clients", report["scatterpp_fps_4_clients"]],
+        ["framerate multiplier", report["framerate_multiplier"]],
+        ["scAtteR success @1 client",
+         report["scatter_success_1_client"]],
+        ["scAtteR++ success @1 client",
+         report["scatterpp_success_1_client"]],
+        ["capacity (clients at >= scAtteR@4 FPS)",
+         report["capacity_clients"]],
+        ["capacity multiplier", report["capacity_multiplier"]],
+    ]
+    capacity_rows = [[n, fps] for n, fps in
+                     sorted(report["capacity_fps_by_clients"].items())]
+    save_result("headline_capacity",
+                format_table(["metric", "value"], rows) + "\n\n"
+                + format_table(["clients", "scAtteR++ FPS"],
+                               capacity_rows))
+
+    # ≈2.5-4x framerate at four concurrent clients.
+    assert report["framerate_multiplier"] >= 2.5
+    # +17.6% success at one client (we assert a clear gain).
+    assert report["scatterpp_success_1_client"] >= \
+        report["scatter_success_1_client"] + 0.08
+    # ≈2.75x client capacity (we assert >= 2x).
+    assert report["capacity_multiplier"] >= 2.0

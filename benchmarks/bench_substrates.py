@@ -1,0 +1,110 @@
+"""Micro-benchmarks of the substrates (throughput, not figures).
+
+These are conventional pytest-benchmark timings: the event-loop rate
+of the simulation kernel and the per-frame cost of each CV stage.
+They track that the substrates stay fast enough for full-length
+(5-minute, 10-client) experiment replays.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import Simulator
+from repro.vision.dataset import WorkplaceDataset
+from repro.vision.fisher import FisherEncoder, GaussianMixture
+from repro.vision.lsh import LshIndex
+from repro.vision.matching import match_descriptors
+from repro.vision.pca import Pca
+from repro.vision.recognizer import RecognizerTrainer
+from repro.vision.sift import SiftExtractor
+from repro.vision.video import SyntheticVideo
+
+
+def test_bench_sim_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_10k_events) == 10_000
+
+
+def test_bench_sim_process_switching(benchmark):
+    def run_processes():
+        sim = Simulator()
+
+        def worker():
+            for __ in range(100):
+                yield sim.timeout(0.01)
+
+        for __ in range(50):
+            sim.spawn(worker())
+        sim.run()
+        return sim.now
+
+    assert benchmark(run_processes) == pytest.approx(1.0)
+
+
+@pytest.fixture(scope="module")
+def frame():
+    return SyntheticVideo(seed=0).frame(0).image
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return SiftExtractor(contrast_threshold=0.01, max_keypoints=300)
+
+
+@pytest.fixture(scope="module")
+def descriptors(frame, extractor):
+    __, descriptors = extractor.detect_and_describe(frame)
+    return descriptors
+
+
+def test_bench_sift_extraction(benchmark, frame, extractor):
+    keypoints, descriptors = benchmark(
+        extractor.detect_and_describe, frame)
+    assert len(keypoints) > 20
+    assert descriptors.shape[1] == 128
+
+
+def test_bench_pca_fisher_encoding(benchmark, descriptors):
+    pca = Pca(24).fit(descriptors)
+    projected = pca.transform(descriptors)
+    gmm = GaussianMixture(5, seed=0).fit(projected)
+    encoder = FisherEncoder(gmm)
+
+    vector = benchmark(lambda: encoder.encode(pca.transform(descriptors)))
+    assert vector.shape == (encoder.dimension,)
+
+
+def test_bench_lsh_query(benchmark, descriptors):
+    rng = np.random.default_rng(0)
+    index = LshIndex(dimension=64, seed=0)
+    for key in range(100):
+        index.insert(key, rng.normal(0, 1, 64))
+    probe = rng.normal(0, 1, 64)
+
+    matches = benchmark(index.query, probe, k=5)
+    assert len(matches) <= 5
+
+
+def test_bench_descriptor_matching(benchmark, descriptors):
+    reference = descriptors[: len(descriptors) // 2]
+    matches = benchmark(match_descriptors, descriptors, reference)
+    assert isinstance(matches, list)
+
+
+def test_bench_full_recognition(benchmark, frame, extractor):
+    dataset = WorkplaceDataset(seed=0)
+    recognizer = RecognizerTrainer(seed=0).train(dataset, extractor)
+    result = benchmark(recognizer.process_frame, frame)
+    assert result.num_keypoints > 20

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_fig*`` module regenerates one table/figure of the paper
+(CoNEXT Companion '23).  Results are printed and also persisted under
+``benchmarks/results/`` so the regenerated rows survive the pytest
+capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_result():
+    """Write a named result artifact and echo it to stdout."""
+    def save(name: str, content: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(content + "\n")
+        print(f"\n[{name}] (saved to {path})\n{content}")
+
+    return save

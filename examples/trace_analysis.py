@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Where does the time go?  Per-frame tracing of both pipelines.
+
+Runs scAtteR and scAtteR++ with distributed tracing enabled and
+prints, for each: the mean per-frame latency breakdown (per service,
+sidecar queueing, network), one concrete frame's span timeline, and —
+for the frames that never came back — the stage they died after.
+
+The traces make the paper's §4 findings directly visible: sift appears
+twice in every scAtteR trace (feature extraction + matching's state
+fetch), and under load most frames die right after ``primary`` (sift's
+busy ingress) or after ``lsh`` (matching's busy-wait window).
+
+Run:  python examples/trace_analysis.py
+"""
+
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    run_scatter_experiment,
+    run_scatterpp_experiment,
+)
+from repro.scatter.config import baseline_configs
+
+
+def show(result, title: str) -> None:
+    tracer = result.tracer
+    print(f"\n=== {title}: {result.num_clients} clients, "
+          f"{result.mean_fps():.1f} FPS, "
+          f"success {result.success_rate():.0%} ===")
+
+    breakdown = tracer.mean_breakdown_ms()
+    print("\nmean per-frame latency breakdown:")
+    print(format_table(["component", "ms/frame"],
+                       sorted(breakdown.items(),
+                              key=lambda kv: -kv[1])))
+
+    completed = tracer.completed_traces()
+    if completed:
+        trace = completed[len(completed) // 2]
+        print(f"\ntimeline of frame {trace.key} "
+              f"(E2E {1000 * trace.e2e_s:.1f} ms):")
+        rows = []
+        for span in trace.ordered_spans():
+            rows.append([span.name, span.kind, span.instance,
+                         1000 * (span.start_s - trace.created_s),
+                         1000 * span.duration_s])
+        print(format_table(
+            ["stage", "kind", "instance", "t+ms", "ms"], rows))
+
+    losses = tracer.loss_by_stage()
+    if losses:
+        print("\nlost frames by the last stage they passed:")
+        print(format_table(["last stage", "frames"],
+                           sorted(losses.items(),
+                                  key=lambda kv: -kv[1])))
+
+
+def main() -> None:
+    config = baseline_configs()["C12"]
+    scatter = run_scatter_experiment(config, num_clients=3,
+                                     duration_s=20.0, tracing=True)
+    show(scatter, "scAtteR (stateful, drop-when-busy)")
+    scatterpp = run_scatterpp_experiment(config, num_clients=3,
+                                         duration_s=20.0, tracing=True)
+    show(scatterpp, "scAtteR++ (stateless + sidecars)")
+
+    print(
+        "\nReading the traces:\n"
+        " * scAtteR: sift shows up twice per frame — extraction, then\n"
+        "   matching's state fetch (the 2x load of §4); lost frames\n"
+        "   concentrate right after primary (sift's busy ingress).\n"
+        " * scAtteR++: the queue component replaces drops — latency\n"
+        "   grows where scAtteR lost frames outright.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""scAtteR / scAtteR++ — distributed mobile AR at the edge, reproduced.
+
+A complete Python reproduction of Bartolomeo, Cao, Su & Mohan,
+*Characterizing Distributed Mobile Augmented Reality Applications at
+the Edge* (CoNEXT Companion 2023, DOI 10.1145/3624354.3630584):
+the simulated edge-cloud testbed, the Oakestra-style orchestrator, the
+real computer-vision substrate, both AR pipelines, and a benchmark
+harness regenerating every figure of the paper's evaluation.
+
+Start with :mod:`repro.experiments` (run a deployment), or from a
+shell: ``python -m repro figures``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

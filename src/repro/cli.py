@@ -1,0 +1,332 @@
+"""Command-line interface.
+
+Run experiments and regenerate paper figures without writing code::
+
+    python -m repro figures                      # list figure targets
+    python -m repro figure fig2 --duration 30    # regenerate one
+    python -m repro run --config C12 --pipeline scatterpp \
+        --clients 4 --duration 30 --trace        # one custom run
+    python -m repro testbed                      # show the testbed
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.experiments import figures
+from repro.experiments.reporting import (
+    analytics_table,
+    format_table,
+    qos_table,
+    service_metric_table,
+    utilization_table,
+)
+from repro.experiments.runner import (
+    run_scatter_experiment,
+    run_scatterpp_experiment,
+)
+from repro.scatter.config import (
+    baseline_configs,
+    cloud_config,
+    hybrid_config,
+    scaling_config,
+)
+
+
+def _print_qos_rows(rows: List[dict]) -> None:
+    print(qos_table(rows))
+    print()
+    print(service_metric_table(rows, "service_latency_ms", "lat_ms"))
+    print()
+    print(utilization_table(rows))
+
+
+def _print_fig7(rows: List[dict]) -> None:
+    print(format_table(
+        ["config", "clients", "FPS"],
+        [[row["config"], row["clients"], row["fps"]] for row in rows]))
+
+
+def _print_analytics(report: dict) -> None:
+    print(analytics_table(report))
+
+
+def _print_fig9(report: dict) -> None:
+    print(format_table(
+        ["loss", "clients", "FPS", "E2E(ms)"],
+        [[f"{row['loss']:.5%}", row["clients"], row["fps"],
+          row["e2e_ms"]] for row in report["loss"]]))
+    print()
+    print(format_table(
+        ["RTT(ms)", "clients", "FPS", "E2E(ms)"],
+        [[row["rtt_ms"], row["clients"], row["fps"], row["e2e_ms"]]
+         for row in report["latency"]]))
+
+
+def _print_fig10(panels: dict) -> None:
+    rows = [[panel, row["config"], row["clients"], row["jitter_ms"]]
+            for panel, panel_rows in panels.items()
+            for row in panel_rows]
+    print(format_table(["panel", "config", "clients", "jitter(ms)"],
+                       rows))
+
+
+def _print_headline(report: dict) -> None:
+    print(format_table(["metric", "value"], [
+        ["framerate multiplier", report["framerate_multiplier"]],
+        ["capacity multiplier", report["capacity_multiplier"]],
+        ["scAtteR success @1", report["scatter_success_1_client"]],
+        ["scAtteR++ success @1",
+         report["scatterpp_success_1_client"]],
+    ]))
+
+
+#: figure name -> (runner kwargs builder, printer, description)
+FIGURES: Dict[str, tuple] = {
+    "fig2": (figures.fig2_baseline_edge, _print_qos_rows,
+             "baseline scAtteR on the edge (C1/C2/C12/C21)"),
+    "fig3": (figures.fig3_scalability, _print_qos_rows,
+             "scAtteR replica-scaling configurations"),
+    "fig4": (figures.fig4_cloud, _print_qos_rows,
+             "cloud-only deployment"),
+    "fig6": (figures.fig6_scatterpp_edge, _print_qos_rows,
+             "scAtteR++ on the edge"),
+    "fig7": (figures.fig7_scaling_clients, _print_fig7,
+             "scAtteR++ scaled services, 1-10 clients"),
+    "fig8": (figures.fig8_sidecar_analytics, _print_analytics,
+             "sidecar analytics, scaled deployment ramp"),
+    "fig9": (figures.fig9_network_conditions, _print_fig9,
+             "netem loss/latency sweeps"),
+    "fig10": (figures.fig10_jitter, _print_fig10,
+              "jitter panels (baseline/scaling/cloud)"),
+    "fig11": (figures.fig11_hybrid, _print_qos_rows,
+              "hybrid edge-cloud deployment"),
+    "fig12": (figures.fig12_sidecar_e1, _print_analytics,
+              "sidecar analytics, all services on E1"),
+    "headline": (figures.headline_capacity, _print_headline,
+                 "headline capacity/framerate multipliers"),
+}
+
+
+def _named_config(name: str):
+    configs = baseline_configs()
+    if name in configs:
+        return configs[name]
+    if name == "cloud":
+        return cloud_config()
+    if name == "hybrid":
+        return hybrid_config()
+    if name.startswith("[") or "," in name:
+        counts = [int(part) for part in
+                  name.strip("[]").split(",")]
+        return scaling_config(counts)
+    raise SystemExit(
+        f"unknown config {name!r}; use C1, C2, C12, C21, cloud, "
+        f"hybrid, or a replica vector like 1,2,2,1,2")
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    print(format_table(
+        ["figure", "reproduces"],
+        [[name, description]
+         for name, (__, __p, description) in sorted(FIGURES.items())]))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    entry = FIGURES.get(args.name)
+    if entry is None:
+        print(f"unknown figure {args.name!r}; try 'figures'",
+              file=sys.stderr)
+        return 2
+    runner, printer, description = entry
+    print(f"# {args.name}: {description}\n")
+    kwargs = {}
+    if args.name in ("fig8", "fig12"):
+        if args.duration is not None:
+            kwargs["stage_s"] = args.duration
+    elif args.duration is not None:
+        kwargs["duration_s"] = args.duration
+    if args.seed is not None and args.name not in ("fig8", "fig12"):
+        kwargs["seed"] = args.seed
+    printer(runner(**kwargs))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    config = _named_config(args.config)
+    runner = (run_scatterpp_experiment
+              if args.pipeline == "scatterpp"
+              else run_scatter_experiment)
+    result = runner(config, num_clients=args.clients,
+                    duration_s=args.duration, seed=args.seed,
+                    tracing=args.trace)
+    print(format_table(["metric", "value"], [
+        ["config", result.config_name],
+        ["pipeline", args.pipeline],
+        ["clients", result.num_clients],
+        ["mean FPS", result.mean_fps()],
+        ["success rate", result.success_rate()],
+        ["E2E latency (ms)", result.mean_e2e_ms()],
+        ["jitter (ms)", result.mean_jitter_ms()],
+        ["estimated QoE (MOS 1-5)", result.qoe().mos],
+    ]))
+    print()
+    print(format_table(
+        ["service", "latency(ms)", "memory(GB)"],
+        [[service, latency,
+          result.service_memory_gb().get(service, 0.0)]
+         for service, latency
+         in result.service_latency_ms().items()]))
+    if args.trace and result.tracer is not None:
+        print()
+        breakdown = result.tracer.mean_breakdown_ms()
+        print(format_table(
+            ["trace component", "mean ms/frame"],
+            sorted(breakdown.items(), key=lambda kv: -kv[1])))
+        losses = result.tracer.loss_by_stage()
+        if losses:
+            print()
+            print(format_table(
+                ["lost after stage", "frames"],
+                sorted(losses.items(), key=lambda kv: -kv[1])))
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import (
+        Campaign,
+        render_report,
+        run_campaign,
+    )
+
+    campaign = Campaign(
+        name=args.name,
+        pipelines=tuple(args.pipelines.split(",")),
+        placements=tuple(args.placements.split(",")),
+        client_counts=tuple(int(n) for n in args.clients.split(",")),
+        duration_s=args.duration,
+        seeds=tuple(int(s) for s in args.seeds.split(",")))
+    report = run_campaign(campaign, store_dir=args.store,
+                          progress=lambda line: print(f"  ... {line}"))
+    print()
+    print(render_report(report))
+    if args.store:
+        print(f"\nper-cell summaries stored under {args.store}/")
+    return 0
+
+
+def cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.orchestra.placement import PlacementOptimizer
+
+    optimizer = PlacementOptimizer(
+        machines=tuple(args.machines.split(",")))
+    estimates = optimizer.search()
+    print(format_table(
+        ["assignment [primary,sift,encoding,lsh,matching]",
+         "pred FPS", "pred E2E(ms)"],
+        [[e.placement.name, e.throughput_fps, e.e2e_ms]
+         for e in estimates[:args.top]]))
+    best = optimizer.best(args.objective)
+    print(f"\nbest by {args.objective}: {best.placement.name} "
+          f"(pred {best.throughput_fps:.0f} FPS, "
+          f"{best.e2e_ms:.1f} ms)")
+    return 0
+
+
+def cmd_testbed(args: argparse.Namespace) -> int:
+    from repro.cluster.testbed import build_paper_testbed
+    from repro.sim import RngRegistry, Simulator
+
+    testbed = build_paper_testbed(Simulator(), RngRegistry(0),
+                                  num_clients=args.clients)
+    rows = []
+    for name in sorted(testbed.machines):
+        machine = testbed.machines[name]
+        gpus = (f"{len(machine.gpus)}x{machine.gpus[0].architecture.name}"
+                if machine.gpus else "-")
+        rows.append([name, machine.cpu_cores, gpus,
+                     machine.memory.capacity_bytes / 2 ** 30])
+    print(format_table(["machine", "cores", "gpus", "memory(GB)"],
+                       rows))
+    print()
+    net = testbed.network
+    pairs = [("nuc0", "e1"), ("nuc0", "e2"), ("nuc0", "cloud"),
+             ("e1", "e2"), ("e1", "cloud")]
+    print(format_table(
+        ["path", "RTT(ms)"],
+        [[f"{a} <-> {b}", net.path_rtt(a, b) * 1000.0]
+         for a, b in pairs]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="scAtteR/scAtteR++ reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("figures", help="list figure targets")
+
+    figure = sub.add_parser("figure", help="regenerate one figure")
+    figure.add_argument("name", help="figure id, e.g. fig2")
+    figure.add_argument("--duration", type=float, default=None,
+                        help="run (or ramp-stage) seconds per config")
+    figure.add_argument("--seed", type=int, default=None)
+
+    run = sub.add_parser("run", help="run one configuration")
+    run.add_argument("--config", default="C12",
+                     help="C1|C2|C12|C21|cloud|hybrid|1,2,2,1,2")
+    run.add_argument("--pipeline", choices=("scatter", "scatterpp"),
+                     default="scatter")
+    run.add_argument("--clients", type=int, default=1)
+    run.add_argument("--duration", type=float, default=30.0)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--trace", action="store_true",
+                     help="collect per-frame traces and print the "
+                          "latency breakdown")
+
+    testbed = sub.add_parser("testbed", help="show the testbed")
+    testbed.add_argument("--clients", type=int, default=4)
+
+    campaign = sub.add_parser(
+        "campaign", help="run a replicated experiment grid")
+    campaign.add_argument("--name", default="campaign")
+    campaign.add_argument("--pipelines", default="scatter,scatterpp")
+    campaign.add_argument("--placements", default="C1,C2,C12,C21")
+    campaign.add_argument("--clients", default="1,2,3,4")
+    campaign.add_argument("--duration", type=float, default=30.0)
+    campaign.add_argument("--seeds", default="0")
+    campaign.add_argument("--store", default=None,
+                          help="directory for per-cell JSON summaries")
+
+    optimize = sub.add_parser(
+        "optimize", help="search placements analytically")
+    optimize.add_argument("--machines", default="e1,e2",
+                          help="comma-separated machine set")
+    optimize.add_argument("--objective",
+                          choices=("throughput", "latency"),
+                          default="throughput")
+    optimize.add_argument("--top", type=int, default=8,
+                          help="how many candidates to print")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers: Dict[str, Callable] = {
+        "figures": cmd_figures,
+        "figure": cmd_figure,
+        "run": cmd_run,
+        "testbed": cmd_testbed,
+        "optimize": cmd_optimize,
+        "campaign": cmd_campaign,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

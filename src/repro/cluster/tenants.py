@@ -1,0 +1,75 @@
+"""Co-tenant background load.
+
+scAtteR's containerized design targets "multi-tenant edge
+environments" (§3.1), and §5 flags GPU resource contention as the
+critical cost of vertical scaling.  :class:`BackgroundTenant` models a
+co-located tenant — another inference job, a transcoder — that
+periodically occupies a GPU's execution slot (or CPU cores), so
+experiments can quantify how much of the AR pipeline's QoS survives
+sharing its hardware.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cluster.gpu import GpuDevice
+from repro.cluster.machine import Machine
+from repro.sim.kernel import Simulator
+
+
+class BackgroundTenant:
+    """A duty-cycled co-tenant on one GPU (or a machine's CPU).
+
+    Each period, the tenant runs a kernel of ``duty_cycle × period``
+    seconds; between kernels it sleeps.  Because GPU kernels serialize
+    on the execution slot, a 50% duty cycle roughly doubles the wait
+    of the AR services sharing the device.
+    """
+
+    def __init__(self, sim: Simulator, *,
+                 gpu: Optional[GpuDevice] = None,
+                 machine: Optional[Machine] = None,
+                 duty_cycle: float = 0.25, period_s: float = 0.050,
+                 intensity: float = 0.8,
+                 rng: Optional[np.random.Generator] = None):
+        if (gpu is None) == (machine is None):
+            raise ValueError("provide exactly one of gpu or machine")
+        if not 0.0 <= duty_cycle < 1.0:
+            raise ValueError(
+                f"duty_cycle must be in [0, 1), got {duty_cycle}")
+        if period_s <= 0:
+            raise ValueError(f"period_s must be positive, got {period_s}")
+        self.sim = sim
+        self.gpu = gpu
+        self.machine = machine
+        self.duty_cycle = duty_cycle
+        self.period_s = period_s
+        self.intensity = intensity
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.kernels_run = 0
+        self._running = False
+
+    def start(self) -> None:
+        if self._running or self.duty_cycle == 0.0:
+            return
+        self._running = True
+        self.sim.spawn(self._loop(), name="background-tenant")
+
+    def _loop(self):
+        busy_s = self.duty_cycle * self.period_s
+        idle_s = self.period_s - busy_s
+        # Random phase so multiple tenants do not synchronize.
+        yield self.sim.timeout(float(self.rng.uniform(0, self.period_s)))
+        while True:
+            if self.gpu is not None:
+                yield from self.gpu.execute(busy_s,
+                                            intensity=self.intensity)
+            else:
+                yield from self.machine.execute_cpu(busy_s)
+            self.kernels_run += 1
+            # Jitter the gap slightly; real tenants are not metronomes.
+            wobble = float(self.rng.uniform(0.8, 1.2))
+            yield self.sim.timeout(idle_s * wobble)

@@ -1,0 +1,28 @@
+"""Distributed-stream-processing framework.
+
+The building blocks scAtteR's microservices are made of (§3.1):
+
+* :class:`~repro.dsp.record.FrameRecord` — the inter-service message:
+  client ID, frame number, the client's return address and the current
+  pipeline step (exactly the metadata the paper lists), plus timing
+  fields for QoS accounting.
+* :class:`~repro.dsp.operator.StreamService` — a containerized service
+  processing **one frame at a time**; requests arriving while busy are
+  dropped (scAtteR's explicit no-queue policy), control messages are
+  always delivered.
+* :class:`~repro.dsp.statestore.StateStore` — an in-memory store with
+  TTL eviction and host-memory accounting (the stateful ``sift``'s
+  frame store).
+"""
+
+from repro.dsp.operator import ServiceStats, StreamService
+from repro.dsp.record import FrameRecord, RecordKind
+from repro.dsp.statestore import StateStore
+
+__all__ = [
+    "FrameRecord",
+    "RecordKind",
+    "ServiceStats",
+    "StateStore",
+    "StreamService",
+]

@@ -1,0 +1,233 @@
+"""Base class for one-frame-at-a-time stream services.
+
+Encodes scAtteR's service semantics (§3.1):
+
+* UDP ingress — datagrams arrive via the network; nothing is
+  retransmitted.
+* **One frame at a time** — a service that is processing is *busy*;
+  new work arriving while busy is **dropped** ("outstanding requests
+  arriving at busy services are dropped").
+* Control messages (e.g. fetch responses a busy service is waiting
+  for) bypass the drop rule and are routed to :meth:`on_control`.
+
+Subclasses implement :meth:`process` (a simulation-process generator)
+and use :meth:`compute` / :meth:`send` / :meth:`send_downstream`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.cluster.container import Container
+from repro.dsp.record import FrameRecord, RecordKind
+from repro.net.addresses import Address, ServiceRegistry
+from repro.net.datagram import Datagram
+from repro.net.topology import Network
+
+
+@dataclass
+class ServiceStats:
+    """Per-instance counters and latency samples."""
+
+    received: int = 0
+    processed: int = 0
+    dropped_busy: int = 0
+    failed: int = 0
+    latency_samples_s: List[float] = field(default_factory=list)
+    #: (timestamp, count) arrival markers for ingress-FPS accounting.
+    arrival_times_s: List[float] = field(default_factory=list)
+
+    def mean_latency_s(self) -> float:
+        if not self.latency_samples_s:
+            return 0.0
+        return float(np.mean(self.latency_samples_s))
+
+    def ingress_fps(self, window_s: float, now: float) -> float:
+        """Arrivals per second over the trailing window."""
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        start = now - window_s
+        recent = sum(1 for t in self.arrival_times_s if t >= start)
+        return recent / window_s
+
+
+class StreamService:
+    """One replica of a pipeline service."""
+
+    #: Multiplicative service-time noise (lognormal sigma).
+    TIME_NOISE_SIGMA = 0.08
+
+    #: Heavy-tail stalls: occasionally a request takes SPIKE_FACTOR x
+    #: longer (allocator/driver pauses, co-tenant interference).  With
+    #: drop-when-busy ingress these stalls lose the frames arriving
+    #: during the stall — the background loss visible even at one
+    #: client (§4: ≈85% single-client success); a queueing sidecar
+    #: rides them out.
+    SPIKE_PROB = 0.04
+    SPIKE_FACTOR = 2.5
+
+    def __init__(self, *, name: str, network: Network,
+                 registry: ServiceRegistry, container: Container,
+                 address: Address, base_time_s: float,
+                 gpu_intensity: float = 0.5,
+                 reliable_transport: bool = False,
+                 cost_model=None,
+                 rng: Optional[np.random.Generator] = None):
+        if base_time_s <= 0:
+            raise ValueError(
+                f"base_time_s must be positive, got {base_time_s}")
+        self.name = name
+        self.network = network
+        self.sim = network.sim
+        self.registry = registry
+        self.container = container
+        self.address = address
+        self.base_time_s = base_time_s
+        self.gpu_intensity = gpu_intensity
+        #: Use an ARQ transport for inter-service sends instead of
+        #: bare UDP — the "improved network protocols" direction of
+        #: Appendix A.1.2 (losses become retransmission delay).
+        self.reliable_transport = reliable_transport
+        #: Optional content-driven cost model (see
+        #: repro.scatter.content): scales compute by frame complexity.
+        self.cost_model = cost_model
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._current_record: Optional[FrameRecord] = None
+        self.stats = ServiceStats()
+        #: Optional distributed tracer (see repro.metrics.tracing).
+        self.tracer = None
+        self._busy = False
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start the container and attach to the network."""
+        if self._started:
+            return
+        self.container.start()
+        self.network.bind(self.address, self._on_delivery)
+        self.registry.register(self.name, self.address)
+        self._started = True
+
+    def stop(self, failed: bool = False) -> None:
+        if not self._started:
+            return
+        self.network.unbind(self.address)
+        self.registry.deregister(self.name, self.address)
+        self.container.stop(failed=failed)
+        self._started = False
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    # ------------------------------------------------------------------
+    # Ingress
+    # ------------------------------------------------------------------
+    def _on_delivery(self, datagram: Datagram) -> None:
+        record = datagram.payload
+        if not isinstance(record, FrameRecord):
+            return  # stray packet: UDP silently discards
+        if self.is_control(record):
+            self.on_control(record)
+            return
+        self.stats.received += 1
+        self.stats.arrival_times_s.append(self.sim.now)
+        if self._busy:
+            self.stats.dropped_busy += 1
+            self.on_dropped(record)
+            return
+        self._busy = True
+        self.sim.spawn(self._work(record),
+                       name=f"{self.name}@{self.address}")
+
+    def _work(self, record: FrameRecord):
+        start = self.sim.now
+        self._current_record = record
+        try:
+            yield from self.process(record)
+            self.stats.processed += 1
+        except Exception:
+            self.stats.failed += 1
+            raise
+        finally:
+            self._busy = False
+            self._current_record = None
+            self.stats.latency_samples_s.append(self.sim.now - start)
+            if self.tracer is not None:
+                self.tracer.record_span(
+                    record.key, record.created_s, name=self.name,
+                    kind="service", instance=str(self.address),
+                    start_s=start, end_s=self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Hooks for subclasses
+    # ------------------------------------------------------------------
+    def process(self, record: FrameRecord):
+        """Handle one unit of work (simulation-process generator)."""
+        raise NotImplementedError
+
+    def is_control(self, record: FrameRecord) -> bool:
+        """Records for which the busy-drop rule must not apply."""
+        return record.kind is RecordKind.FETCH_RESPONSE
+
+    def on_control(self, record: FrameRecord) -> None:
+        """Deliver a control record (default: ignore)."""
+
+    def on_dropped(self, record: FrameRecord) -> None:
+        """Called when ingress work is dropped because we are busy."""
+
+    # ------------------------------------------------------------------
+    # Helpers for subclasses
+    # ------------------------------------------------------------------
+    def compute(self, base_time_s: Optional[float] = None):
+        """Consume compute on this replica's container (generator).
+
+        Applies the device speed factor (via the container) and a
+        small lognormal noise term so service times are not perfectly
+        deterministic.
+        """
+        base = self.base_time_s if base_time_s is None else base_time_s
+        if self.cost_model is not None and self._current_record is not None:
+            base *= self.cost_model.multiplier(
+                self._current_record.frame_number)
+        noisy = base * float(self.rng.lognormal(0.0, self.TIME_NOISE_SIGMA))
+        if self.rng.random() < self.SPIKE_PROB:
+            noisy *= self.SPIKE_FACTOR
+        yield from self.container.compute(noisy,
+                                          gpu_intensity=self.gpu_intensity)
+
+    def send(self, destination: Address, record: FrameRecord) -> bool:
+        """Send a record to a concrete address.
+
+        Plain UDP by default; with ``reliable_transport`` losses turn
+        into retransmission delay instead of silent drops.
+        """
+        datagram = Datagram(payload=record, size_bytes=record.size_bytes,
+                            src=self.address, dst=destination)
+        if self.reliable_transport:
+            from repro.net.rpc import reliable_path_delay
+
+            delay = reliable_path_delay(self.network,
+                                        self.address.node,
+                                        destination.node,
+                                        record.size_bytes)
+            if delay is None:
+                return False
+            self.network.deliver_after(delay, destination, datagram)
+            return True
+        return self.network.send(self.address.node, destination, datagram,
+                                 record.size_bytes)
+
+    def send_downstream(self, service: str, record: FrameRecord) -> bool:
+        """Send to the named service via the registry's balancer."""
+        try:
+            destination = self.registry.resolve(service)
+        except LookupError:
+            return False
+        return self.send(destination, record)

@@ -1,0 +1,80 @@
+"""In-memory state with TTL eviction (the stateful ``sift`` store).
+
+scAtteR's ``sift`` keeps each frame's extracted features in memory
+until ``matching`` fetches them or a timeout expires (§3.1/§4).  When
+``matching`` drops frames under load, entries linger for the full TTL —
+"which can limit its deployment over memory-constrained edge hardware".
+Memory is charged against the owning container so the effect shows up
+in the orchestrator's hardware metrics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from repro.cluster.container import Container
+from repro.sim.kernel import Simulator
+
+
+class StateStore:
+    """TTL key/value store charging its bytes to a container."""
+
+    def __init__(self, sim: Simulator, container: Container,
+                 ttl_s: float = 1.0):
+        if ttl_s <= 0:
+            raise ValueError(f"ttl_s must be positive, got {ttl_s}")
+        self.sim = sim
+        self.container = container
+        self.ttl_s = ttl_s
+        self._entries: Dict[Hashable, Tuple[Any, float, float]] = {}
+        self.stats_stored = 0
+        self.stats_fetched = 0
+        self.stats_expired = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def bytes_in_use(self) -> float:
+        return sum(size for __, __unused, size
+                   in self._entries.values())
+
+    def put(self, key: Hashable, value: Any, size_bytes: float) -> None:
+        """Store ``value``; replaces (and re-times) an existing entry."""
+        if key in self._entries:
+            self._evict(key, expired=False)
+        expires = self.sim.now + self.ttl_s
+        self._entries[key] = (value, expires, size_bytes)
+        self.container.allocate_state(size_bytes)
+        self.stats_stored += 1
+        self.sim.schedule(self.ttl_s, self._expire, key, expires)
+
+    def fetch(self, key: Hashable) -> Optional[Any]:
+        """Remove and return the entry, or ``None`` if absent/expired."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        value, __, __unused = entry
+        self._evict(key, expired=False)
+        self.stats_fetched += 1
+        return value
+
+    def peek(self, key: Hashable) -> Optional[Any]:
+        """Return the entry without removing it."""
+        entry = self._entries.get(key)
+        return entry[0] if entry is not None else None
+
+    def _expire(self, key: Hashable, expected_expiry: float) -> None:
+        entry = self._entries.get(key)
+        if entry is None:
+            return
+        __, expires, __unused = entry
+        if expires != expected_expiry:
+            return  # entry was replaced; a newer timer owns it
+        self._evict(key, expired=True)
+
+    def _evict(self, key: Hashable, expired: bool) -> None:
+        __, __unused, size_bytes = self._entries.pop(key)
+        self.container.free_state(size_bytes)
+        if expired:
+            self.stats_expired += 1

@@ -1,0 +1,42 @@
+"""Experiment harness: testbeds, runners and per-figure reproductions.
+
+:mod:`repro.experiments.runner` drives one deployment configuration
+with N concurrent clients and returns an
+:class:`~repro.experiments.runner.ExperimentResult` holding QoS and
+hardware metrics; :mod:`repro.experiments.figures` maps every figure of
+the paper's evaluation to a function regenerating its rows.
+"""
+
+from repro.experiments.repetition import (
+    ReplicatedMetric,
+    replicate,
+    replicate_experiment,
+    significantly_better,
+)
+from repro.experiments.runner import (
+    ExperimentResult,
+    run_ramp_experiment,
+    run_scatter_experiment,
+    run_scatterpp_experiment,
+)
+from repro.experiments.store import (
+    ResultStore,
+    diff_results,
+    regressions,
+    summarize_result,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "ReplicatedMetric",
+    "ResultStore",
+    "diff_results",
+    "regressions",
+    "replicate",
+    "replicate_experiment",
+    "run_ramp_experiment",
+    "run_scatter_experiment",
+    "run_scatterpp_experiment",
+    "significantly_better",
+    "summarize_result",
+]

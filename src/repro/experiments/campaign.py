@@ -1,0 +1,177 @@
+"""Declarative experiment campaigns.
+
+A *campaign* is the full grid a study runs: pipelines × placements ×
+client counts, replicated across seeds, persisted to a
+:class:`~repro.experiments.store.ResultStore`, and rendered into a
+markdown report.  ``python -m repro campaign`` drives it from the
+command line; programmatically::
+
+    campaign = Campaign(
+        name="edge-baselines",
+        pipelines=("scatter", "scatterpp"),
+        placements=("C1", "C12"),
+        client_counts=(1, 4),
+        duration_s=30.0,
+        seeds=(0, 1, 2),
+    )
+    report = run_campaign(campaign, store_dir="campaign-results")
+    print(render_report(report))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.repetition import (
+    REPLICATED_METRICS,
+    ReplicatedMetric,
+    replicate_experiment,
+)
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import (
+    run_scatter_experiment,
+    run_scatterpp_experiment,
+)
+from repro.experiments.store import ResultStore
+from repro.scatter.config import (
+    PlacementConfig,
+    baseline_configs,
+    cloud_config,
+    hybrid_config,
+    scaling_config,
+)
+
+RUNNERS: Dict[str, Callable] = {
+    "scatter": run_scatter_experiment,
+    "scatterpp": run_scatterpp_experiment,
+}
+
+
+def resolve_placement(name: str) -> PlacementConfig:
+    """Resolve a placement by name (C1..C21, cloud, hybrid, or a
+    replica vector like ``1,2,2,1,2``)."""
+    configs = baseline_configs()
+    if name in configs:
+        return configs[name]
+    if name == "cloud":
+        return cloud_config()
+    if name == "hybrid":
+        return hybrid_config()
+    if "," in name:
+        counts = [int(part) for part in name.strip("[]").split(",")]
+        return scaling_config(counts)
+    raise ValueError(f"unknown placement {name!r}")
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """The grid definition."""
+
+    name: str
+    pipelines: Tuple[str, ...] = ("scatter", "scatterpp")
+    placements: Tuple[str, ...] = ("C1", "C2", "C12", "C21")
+    client_counts: Tuple[int, ...] = (1, 2, 3, 4)
+    duration_s: float = 30.0
+    seeds: Tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        for pipeline in self.pipelines:
+            if pipeline not in RUNNERS:
+                raise ValueError(
+                    f"unknown pipeline {pipeline!r}; "
+                    f"choose from {sorted(RUNNERS)}")
+        if not self.placements or not self.client_counts:
+            raise ValueError("placements and client_counts must be "
+                             "non-empty")
+        if self.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        if not self.seeds:
+            raise ValueError("need at least one seed")
+        for name in self.placements:
+            resolve_placement(name)  # fail fast on typos
+
+    @property
+    def cells(self) -> List[Tuple[str, str, int]]:
+        return [(pipeline, placement, clients)
+                for pipeline in self.pipelines
+                for placement in self.placements
+                for clients in self.client_counts]
+
+    def cell_name(self, pipeline: str, placement: str,
+                  clients: int) -> str:
+        return f"{self.name}__{pipeline}__{placement}__{clients}c"
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated campaign outcome."""
+
+    campaign: Campaign
+    #: (pipeline, placement, clients) -> metric -> ReplicatedMetric
+    cells: Dict[Tuple[str, str, int], Dict[str, ReplicatedMetric]] \
+        = field(default_factory=dict)
+
+
+def run_campaign(campaign: Campaign, *,
+                 store_dir: Optional[str] = None,
+                 progress: Optional[Callable[[str], None]] = None
+                 ) -> CampaignReport:
+    """Execute every cell of the grid (replicated across seeds)."""
+    store = ResultStore(store_dir) if store_dir else None
+    report = CampaignReport(campaign=campaign)
+    for pipeline, placement_name, clients in campaign.cells:
+        if progress is not None:
+            progress(f"{pipeline} / {placement_name} / {clients} "
+                     f"client(s)")
+        placement = resolve_placement(placement_name)
+        metrics = replicate_experiment(
+            placement, num_clients=clients,
+            duration_s=campaign.duration_s, seeds=campaign.seeds,
+            runner=RUNNERS[pipeline])
+        report.cells[(pipeline, placement_name, clients)] = metrics
+        if store is not None:
+            summary = {name: {"mean": metric.mean,
+                              "std": metric.std,
+                              "ci95": metric.ci95_halfwidth,
+                              "values": list(metric.values)}
+                       for name, metric in metrics.items()}
+            summary.update({"pipeline": pipeline,
+                            "config": placement_name,
+                            "clients": clients,
+                            "seeds": list(campaign.seeds)})
+            store.save(campaign.cell_name(pipeline, placement_name,
+                                          clients), summary)
+    return report
+
+
+def render_report(report: CampaignReport,
+                  metrics: Sequence[str] = ("fps", "success_rate",
+                                            "e2e_ms")) -> str:
+    """Markdown-ish tables: one block per pipeline."""
+    unknown = [m for m in metrics if m not in REPLICATED_METRICS]
+    if unknown:
+        raise ValueError(f"unknown metrics {unknown}; choose from "
+                         f"{REPLICATED_METRICS}")
+    blocks = [f"# Campaign: {report.campaign.name}",
+              f"seeds: {list(report.campaign.seeds)}, "
+              f"duration: {report.campaign.duration_s:.0f} s"]
+    for pipeline in report.campaign.pipelines:
+        rows = []
+        for placement in report.campaign.placements:
+            for clients in report.campaign.client_counts:
+                cell = report.cells.get((pipeline, placement, clients))
+                if cell is None:
+                    continue
+                row = [placement, clients]
+                for metric in metrics:
+                    value = cell[metric]
+                    if value.ci95_halfwidth > 0:
+                        row.append(f"{value.mean:.2f}"
+                                   f"±{value.ci95_halfwidth:.2f}")
+                    else:
+                        row.append(f"{value.mean:.2f}")
+                rows.append(row)
+        blocks.append(f"\n## {pipeline}\n" + format_table(
+            ["config", "clients"] + list(metrics), rows))
+    return "\n".join(blocks)

@@ -1,0 +1,257 @@
+"""Run one deployment configuration under client load.
+
+Mirrors the paper's methodology (§3.2): N virtualized clients replay
+the 30 FPS video against a deployed pipeline for a fixed run duration
+while the orchestrator samples hardware; QoS aggregates are computed
+from client logs afterwards.  Simulated runs default to 60 s (the
+paper runs 5 minutes of wall clock; virtual time is statistics-
+equivalent and the full five minutes is available via ``duration_s``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.testbed import Testbed, build_paper_testbed
+from repro.metrics.hardware import HardwareMonitor
+from repro.metrics.qos import ClientStats
+from repro.net.netem import Netem
+from repro.orchestra.orchestrator import Orchestrator
+from repro.scatter import config as scatter_config
+from repro.scatter.client import ArClient
+from repro.scatter.config import PlacementConfig
+from repro.scatter.pipeline import ScatterPipeline
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RngRegistry
+
+#: Default experiment run length (virtual seconds).
+DEFAULT_DURATION_S = 60.0
+
+#: Time given to the tail of the pipeline to drain after clients stop.
+DRAIN_S = 1.0
+
+
+@dataclass
+class ExperimentResult:
+    """Everything measured during one run."""
+
+    config_name: str
+    num_clients: int
+    duration_s: float
+    clients: List[ClientStats]
+    pipeline: ScatterPipeline
+    monitor: HardwareMonitor
+    testbed: Testbed
+    #: Sidecar telemetry; present only for scAtteR++ runs.
+    analytics: Optional[object] = None
+    #: Per-frame distributed traces; present when ``tracing=True``.
+    tracer: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    # Client QoS aggregates
+    # ------------------------------------------------------------------
+    def per_client_fps(self) -> List[float]:
+        return [c.fps(self.duration_s) for c in self.clients]
+
+    def mean_fps(self) -> float:
+        return float(np.mean(self.per_client_fps()))
+
+    def success_rate(self) -> float:
+        sent = sum(c.frames_sent for c in self.clients)
+        received = sum(c.frames_received for c in self.clients)
+        return received / sent if sent else 0.0
+
+    def mean_e2e_ms(self) -> float:
+        latencies = [lat for c in self.clients
+                     for lat in c.e2e_latencies_s]
+        return 1000.0 * float(np.mean(latencies)) if latencies else 0.0
+
+    def median_e2e_ms(self) -> float:
+        latencies = [lat for c in self.clients
+                     for lat in c.e2e_latencies_s]
+        return 1000.0 * float(np.median(latencies)) if latencies else 0.0
+
+    def percentile_e2e_ms(self, percentile: float) -> float:
+        """Tail latency — the metric XR budgets actually care about."""
+        if not 0.0 < percentile < 100.0:
+            raise ValueError(
+                f"percentile must be in (0, 100), got {percentile}")
+        latencies = [lat for c in self.clients
+                     for lat in c.e2e_latencies_s]
+        if not latencies:
+            return 0.0
+        return 1000.0 * float(np.percentile(latencies, percentile))
+
+    def mean_jitter_ms(self) -> float:
+        return 1000.0 * float(np.mean([c.jitter_s()
+                                       for c in self.clients]))
+
+    # ------------------------------------------------------------------
+    # Pipeline / hardware aggregates
+    # ------------------------------------------------------------------
+    def service_latency_ms(self) -> Dict[str, float]:
+        return {service: self.pipeline.service_latency_ms(service)
+                for service in scatter_config.PIPELINE_ORDER}
+
+    def service_memory_gb(self) -> Dict[str, float]:
+        return self.monitor.service_memory_gb()
+
+    def machine_cpu_util(self) -> Dict[str, float]:
+        return {name: self.monitor.mean_cpu(name)
+                for name in self.pipeline.placement.machines_used()}
+
+    def machine_gpu_util(self) -> Dict[str, float]:
+        return {name: self.monitor.mean_gpu(name)
+                for name in self.pipeline.placement.machines_used()}
+
+    def drop_counts(self) -> Dict[str, int]:
+        return self.pipeline.drop_counts()
+
+    def qoe(self):
+        """Estimated mean-opinion score for this run's QoS."""
+        from repro.metrics.qoe import estimate_qoe
+
+        return estimate_qoe(fps=self.mean_fps(),
+                            e2e_ms=self.mean_e2e_ms(),
+                            success_rate=self.success_rate(),
+                            jitter_ms=self.mean_jitter_ms())
+
+
+def _build(placement: PlacementConfig, num_clients: int, seed: int,
+           client_netem: Optional[Netem],
+           pipeline_kwargs: Optional[dict]) -> tuple:
+    sim = Simulator()
+    rng = RngRegistry(seed)
+    testbed = build_paper_testbed(sim, rng, num_clients=num_clients)
+    if client_netem is not None:
+        for node in testbed.client_nodes:
+            testbed.network.set_netem(node, "e1", client_netem)
+    orchestrator = Orchestrator(testbed)
+    pipeline = ScatterPipeline(testbed, orchestrator, placement,
+                               **(pipeline_kwargs or {}))
+    pipeline.deploy()
+    orchestrator.start()
+    clients = []
+    for index, node in enumerate(testbed.client_nodes):
+        clients.append(ArClient(
+            client_id=index, node=node, network=testbed.network,
+            registry=orchestrator.registry,
+            rng=rng.stream(f"client.{index}")))
+    return sim, testbed, orchestrator, pipeline, clients
+
+
+def _attach_tracer(orchestrator, clients):
+    from repro.metrics.tracing import Tracer
+
+    tracer = Tracer()
+    for instance in orchestrator.all_instances():
+        instance.tracer = tracer
+    for client in clients:
+        client.tracer = tracer
+    return tracer
+
+
+def run_scatter_experiment(
+        placement: PlacementConfig, *, num_clients: int,
+        duration_s: float = DEFAULT_DURATION_S, seed: int = 0,
+        client_netem: Optional[Netem] = None,
+        pipeline_kwargs: Optional[dict] = None,
+        tracing: bool = False) -> ExperimentResult:
+    """Deploy scAtteR per ``placement`` and run ``num_clients``."""
+    sim, testbed, orchestrator, pipeline, clients = _build(
+        placement, num_clients, seed, client_netem, pipeline_kwargs)
+    tracer = _attach_tracer(orchestrator, clients) if tracing else None
+    for client in clients:
+        client.start(duration_s)
+    sim.run(until=duration_s + DRAIN_S)
+    return ExperimentResult(
+        config_name=placement.name, num_clients=num_clients,
+        duration_s=duration_s,
+        clients=[c.stats for c in clients], pipeline=pipeline,
+        monitor=orchestrator.monitor, testbed=testbed, tracer=tracer)
+
+
+def run_scatterpp_experiment(
+        placement: PlacementConfig, *, num_clients: int,
+        duration_s: float = DEFAULT_DURATION_S, seed: int = 0,
+        client_netem: Optional[Netem] = None,
+        threshold_s: Optional[float] = None,
+        stateless_sift: bool = True,
+        with_sidecars: bool = True,
+        tracing: bool = False) -> ExperimentResult:
+    """Deploy scAtteR++ (stateless sift + sidecars) and run clients.
+
+    ``stateless_sift`` / ``with_sidecars`` exist for the component
+    ablation — disabling both reduces to plain scAtteR.
+    """
+    from repro.scatterpp.analytics import SidecarAnalytics
+    from repro.scatterpp.pipeline import scatterpp_pipeline_kwargs
+
+    kwargs = scatterpp_pipeline_kwargs(
+        threshold_s=threshold_s, stateless_sift=stateless_sift,
+        with_sidecars=with_sidecars)
+    sim, testbed, orchestrator, pipeline, clients = _build(
+        placement, num_clients, seed, client_netem, kwargs)
+    analytics = None
+    if with_sidecars:
+        analytics = SidecarAnalytics(sim)
+        for instance in orchestrator.all_instances():
+            analytics.watch(instance)
+        analytics.start()
+    tracer = _attach_tracer(orchestrator, clients) if tracing else None
+    for client in clients:
+        client.start(duration_s)
+    sim.run(until=duration_s + DRAIN_S)
+    return ExperimentResult(
+        config_name=placement.name, num_clients=num_clients,
+        duration_s=duration_s,
+        clients=[c.stats for c in clients], pipeline=pipeline,
+        monitor=orchestrator.monitor, testbed=testbed,
+        analytics=analytics, tracer=tracer)
+
+
+def run_ramp_experiment(
+        placement: PlacementConfig, *, max_clients: int,
+        stage_s: float = 10.0, seed: int = 0,
+        threshold_s: Optional[float] = None) -> ExperimentResult:
+    """A scAtteR++ run where clients join one by one.
+
+    Client *i* starts streaming at ``i × stage_s`` and keeps going
+    until the end of the run (Figures 8 and 12 correlate per-service
+    sidecar telemetry with this staged load increase).
+    """
+    if max_clients < 1:
+        raise ValueError(f"max_clients must be >= 1, got {max_clients}")
+    if stage_s <= 0:
+        raise ValueError(f"stage_s must be positive, got {stage_s}")
+    from repro.scatterpp.analytics import SidecarAnalytics
+    from repro.scatterpp.pipeline import scatterpp_pipeline_kwargs
+
+    kwargs = scatterpp_pipeline_kwargs(threshold_s=threshold_s)
+    sim, testbed, orchestrator, pipeline, clients = _build(
+        placement, max_clients, seed, None, kwargs)
+    analytics = SidecarAnalytics(sim)
+    for instance in orchestrator.all_instances():
+        analytics.watch(instance)
+    analytics.start()
+
+    total_s = stage_s * max_clients
+    for index, client in enumerate(clients):
+        remaining = total_s - index * stage_s
+
+        def delayed_start(client=client, delay=index * stage_s,
+                          run_for=remaining):
+            yield sim.timeout(delay)
+            client.start(run_for)
+
+        sim.spawn(delayed_start(), name=f"ramp-{index}")
+    sim.run(until=total_s + DRAIN_S)
+    return ExperimentResult(
+        config_name=placement.name, num_clients=max_clients,
+        duration_s=total_s,
+        clients=[c.stats for c in clients], pipeline=pipeline,
+        monitor=orchestrator.monitor, testbed=testbed,
+        analytics=analytics)

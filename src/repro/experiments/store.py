@@ -1,0 +1,138 @@
+"""Persisting and comparing experiment results.
+
+Reproduction work is iterative: recalibrate, re-run, compare.  This
+module serializes an :class:`~repro.experiments.runner.
+ExperimentResult` into a plain-JSON summary, stores collections of
+them, and diffs two runs metric by metric — the regression check a
+maintainer runs before accepting a calibration change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+PathLike = Union[str, pathlib.Path]
+
+
+def summarize_result(result) -> Dict:
+    """Flatten an ExperimentResult into JSON-serializable primitives."""
+    return {
+        "config": result.config_name,
+        "clients": result.num_clients,
+        "duration_s": result.duration_s,
+        "fps": result.mean_fps(),
+        "success_rate": result.success_rate(),
+        "e2e_ms": result.mean_e2e_ms(),
+        "p95_e2e_ms": result.percentile_e2e_ms(95.0),
+        "jitter_ms": result.mean_jitter_ms(),
+        "qoe_mos": result.qoe().mos,
+        "service_latency_ms": result.service_latency_ms(),
+        "service_memory_gb": result.service_memory_gb(),
+        "cpu_util": result.machine_cpu_util(),
+        "gpu_util": result.machine_gpu_util(),
+        "drops": result.drop_counts(),
+    }
+
+
+class ResultStore:
+    """A directory of named JSON result summaries."""
+
+    def __init__(self, directory: PathLike):
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, name: str) -> pathlib.Path:
+        if not name or "/" in name or name.startswith("."):
+            raise ValueError(f"invalid result name {name!r}")
+        return self.directory / f"{name}.json"
+
+    def save(self, name: str, result) -> pathlib.Path:
+        """Summarize and persist a result under ``name``."""
+        summary = (result if isinstance(result, dict)
+                   else summarize_result(result))
+        path = self._path(name)
+        path.write_text(json.dumps(summary, indent=2, sort_keys=True))
+        return path
+
+    def load(self, name: str) -> Dict:
+        path = self._path(name)
+        if not path.exists():
+            raise KeyError(f"no stored result named {name!r}")
+        return json.loads(path.read_text())
+
+    def names(self) -> List[str]:
+        return sorted(path.stem for path in
+                      self.directory.glob("*.json"))
+
+    def delete(self, name: str) -> None:
+        self._path(name).unlink(missing_ok=True)
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's change between two stored runs."""
+
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def absolute(self) -> float:
+        return self.after - self.before
+
+    @property
+    def relative(self) -> Optional[float]:
+        if self.before == 0:
+            return None
+        return self.absolute / self.before
+
+
+#: Top-level scalar metrics compared by :func:`diff_results`.
+SCALAR_METRICS = ("fps", "success_rate", "e2e_ms", "jitter_ms",
+                  "qoe_mos")
+
+
+def diff_results(before: Dict, after: Dict) -> List[MetricDelta]:
+    """Metric-by-metric deltas of two result summaries.
+
+    Includes the scalar QoS metrics plus the per-service latency and
+    memory breakdowns (as dotted metric names).
+    """
+    deltas: List[MetricDelta] = []
+    for metric in SCALAR_METRICS:
+        deltas.append(MetricDelta(metric=metric,
+                                  before=float(before[metric]),
+                                  after=float(after[metric])))
+    for family in ("service_latency_ms", "service_memory_gb"):
+        services = (set(before.get(family, {}))
+                    | set(after.get(family, {})))
+        for service in sorted(services):
+            deltas.append(MetricDelta(
+                metric=f"{family}.{service}",
+                before=float(before.get(family, {}).get(service, 0.0)),
+                after=float(after.get(family, {}).get(service, 0.0))))
+    return deltas
+
+
+def regressions(before: Dict, after: Dict, *,
+                fps_tolerance: float = 0.10,
+                latency_tolerance: float = 0.15) -> List[MetricDelta]:
+    """Deltas that look like QoS regressions.
+
+    FPS / success / QoE falling beyond ``fps_tolerance``, or E2E
+    latency rising beyond ``latency_tolerance``, relative to before.
+    """
+    flagged: List[MetricDelta] = []
+    for delta in diff_results(before, after):
+        relative = delta.relative
+        if relative is None:
+            continue
+        if (delta.metric in ("fps", "success_rate", "qoe_mos")
+                and relative < -fps_tolerance):
+            flagged.append(delta)
+        elif delta.metric == "e2e_ms" and relative > latency_tolerance:
+            flagged.append(delta)
+    return flagged

@@ -1,0 +1,24 @@
+"""QoS and hardware metrics (§3.2 "Performance Metrics").
+
+The paper collects two families of statistics and argues they must be
+read together (insight I):
+
+* **QoS from the application** — frame rate (FPS), end-to-end latency,
+  per-service latency, frame success rate, and jitter (Δ inter-frame
+  receive time) — :mod:`repro.metrics.qos`.
+* **Hardware consumption from the orchestrator** — memory plus CPU/GPU
+  utilization normalized against total capacity —
+  :mod:`repro.metrics.hardware`.
+"""
+
+from repro.metrics.hardware import HardwareMonitor, HardwareSample
+from repro.metrics.qos import ClientStats
+from repro.metrics.summary import Summary, summarize
+
+__all__ = [
+    "ClientStats",
+    "HardwareMonitor",
+    "HardwareSample",
+    "Summary",
+    "summarize",
+]

@@ -1,0 +1,83 @@
+"""QoS → QoE estimation.
+
+The paper deliberately measures QoS, noting that QoE "is a highly
+subjective measure and requires extensive user studies" (§3.2).  For a
+library user who still wants a single user-facing number, this module
+provides a standard objective *estimator* in the spirit of the QoE
+models the paper surveys: a mean-opinion-score (MOS) in [1, 5]
+composed of multiplicative impairment factors for framerate, delay,
+delivery stability and jitter.
+
+The factor shapes follow the usual choices in the literature:
+a logistic saturation in framerate (≈12 FPS is the half-quality
+point, 25-30 FPS saturates), exponential decay beyond the ≈100 ms XR
+motion-to-photon budget, and linear-ish penalties for loss and jitter.
+It is an estimator, not a user study — treat the absolute MOS as a
+ranking device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Framerate logistic: half quality at this FPS...
+FPS_HALF_POINT = 12.0
+#: ...with this steepness.
+FPS_STEEPNESS = 0.35
+
+#: Latency budget after which quality decays (the XR 100 ms budget).
+LATENCY_BUDGET_MS = 100.0
+#: Exponential decay constant past the budget.
+LATENCY_DECAY_MS = 120.0
+
+#: Jitter at which the jitter factor halves.
+JITTER_HALF_POINT_MS = 40.0
+
+
+@dataclass(frozen=True)
+class QoeEstimate:
+    """MOS plus the impairment factors that produced it."""
+
+    mos: float
+    framerate_factor: float
+    latency_factor: float
+    stability_factor: float
+    jitter_factor: float
+
+    def __str__(self) -> str:
+        return (f"MOS {self.mos:.2f} "
+                f"(fps={self.framerate_factor:.2f}, "
+                f"lat={self.latency_factor:.2f}, "
+                f"stab={self.stability_factor:.2f}, "
+                f"jit={self.jitter_factor:.2f})")
+
+
+def estimate_qoe(*, fps: float, e2e_ms: float, success_rate: float,
+                 jitter_ms: float) -> QoeEstimate:
+    """Estimate a MOS in [1, 5] from the paper's four QoS metrics."""
+    if fps < 0 or e2e_ms < 0 or jitter_ms < 0:
+        raise ValueError("QoS inputs must be non-negative")
+    if not 0.0 <= success_rate <= 1.0:
+        raise ValueError(
+            f"success_rate must be in [0, 1], got {success_rate}")
+
+    framerate_factor = 1.0 / (
+        1.0 + np.exp(-FPS_STEEPNESS * (fps - FPS_HALF_POINT)))
+    if e2e_ms <= LATENCY_BUDGET_MS:
+        latency_factor = 1.0
+    else:
+        latency_factor = float(np.exp(
+            -(e2e_ms - LATENCY_BUDGET_MS) / LATENCY_DECAY_MS))
+    stability_factor = success_rate
+    jitter_factor = 1.0 / (1.0 + jitter_ms / JITTER_HALF_POINT_MS)
+
+    quality = (framerate_factor * latency_factor
+               * stability_factor * jitter_factor)
+    return QoeEstimate(
+        mos=1.0 + 4.0 * float(quality),
+        framerate_factor=float(framerate_factor),
+        latency_factor=float(latency_factor),
+        stability_factor=float(stability_factor),
+        jitter_factor=float(jitter_factor))

@@ -1,0 +1,114 @@
+"""Client-side QoS accounting.
+
+Definitions follow §3.2:
+
+* **FPS** — successfully analyzed frames per second received back.
+* **E2E latency** — delta between a frame's capture and the processed
+  frame's arrival back at the client.
+* **Success rate** — fraction of sent frames whose result returned.
+* **Jitter** — variability of the inter-frame receive time (we report
+  the standard deviation of inter-arrival deltas, the common
+  operationalization of "Δ inter-frame receive time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.metrics.summary import Summary, summarize
+
+
+@dataclass
+class ClientStats:
+    """Per-client send/receive log with derived QoS metrics."""
+
+    client_id: int
+    sent: Dict[int, float] = field(default_factory=dict)
+    received: Dict[int, float] = field(default_factory=dict)
+    e2e_latencies_s: List[float] = field(default_factory=list)
+
+    def record_sent(self, frame_number: int, timestamp_s: float) -> None:
+        if frame_number in self.sent:
+            raise ValueError(f"frame {frame_number} sent twice")
+        self.sent[frame_number] = timestamp_s
+
+    def record_received(self, frame_number: int,
+                        timestamp_s: float) -> None:
+        sent_at = self.sent.get(frame_number)
+        if sent_at is None:
+            raise ValueError(
+                f"result for unknown frame {frame_number}")
+        if frame_number in self.received:
+            return  # duplicate delivery: count once
+        self.received[frame_number] = timestamp_s
+        self.e2e_latencies_s.append(timestamp_s - sent_at)
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def frames_sent(self) -> int:
+        return len(self.sent)
+
+    @property
+    def frames_received(self) -> int:
+        return len(self.received)
+
+    def success_rate(self) -> float:
+        if not self.sent:
+            return 0.0
+        return self.frames_received / self.frames_sent
+
+    def fps(self, duration_s: Optional[float] = None) -> float:
+        """Received frames per second over ``duration_s`` (defaults to
+        the send-log span)."""
+        if duration_s is None:
+            if len(self.sent) < 2:
+                return 0.0
+            times = list(self.sent.values())
+            duration_s = max(times) - min(times)
+        if duration_s <= 0:
+            return 0.0
+        return self.frames_received / duration_s
+
+    def e2e_latency(self) -> Summary:
+        return summarize(self.e2e_latencies_s)
+
+    def inter_arrival_deltas_s(self) -> List[float]:
+        """Receive-time deltas between *consecutive* frame numbers.
+
+        Restricting to consecutive frames measures delivery-timing
+        variability (what the paper's Δ inter-frame receive time
+        captures) rather than the gaps introduced by dropped frames.
+        """
+        deltas = []
+        for frame_number, arrival in self.received.items():
+            next_arrival = self.received.get(frame_number + 1)
+            if next_arrival is not None:
+                deltas.append(next_arrival - arrival)
+        return deltas
+
+    def jitter_s(self) -> float:
+        """Standard deviation of the inter-frame receive time."""
+        deltas = self.inter_arrival_deltas_s()
+        if len(deltas) < 2:
+            return 0.0
+        return float(np.std(deltas))
+
+    def fps_series(self, bucket_s: float = 1.0) -> List[float]:
+        """Received FPS per time bucket (for time-series plots)."""
+        if bucket_s <= 0:
+            raise ValueError(f"bucket_s must be positive, got {bucket_s}")
+        if not self.received:
+            return []
+        arrivals = sorted(self.received.values())
+        start = min(self.sent.values()) if self.sent else arrivals[0]
+        end = arrivals[-1]
+        n_buckets = int(np.ceil((end - start) / bucket_s)) + 1
+        series = [0.0] * n_buckets
+        for t in arrivals:
+            series[int((t - start) / bucket_s)] += 1
+        return [count / bucket_s for count in series]

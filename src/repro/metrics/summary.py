@@ -1,0 +1,41 @@
+"""Small statistics helpers shared by reporting code."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    minimum: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (f"n={self.count} mean={self.mean:.3f} "
+                f"median={self.median:.3f} p95={self.p95:.3f}")
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summarize a sample; an empty sample summarizes to zeros."""
+    data: List[float] = [float(v) for v in values]
+    if not data:
+        return Summary(count=0, mean=0.0, median=0.0, p95=0.0,
+                       minimum=0.0, maximum=0.0)
+    array = np.asarray(data)
+    return Summary(
+        count=len(data),
+        mean=float(array.mean()),
+        median=float(np.median(array)),
+        p95=float(np.percentile(array, 95)),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+    )

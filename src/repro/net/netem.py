@@ -1,0 +1,98 @@
+"""``tc netem``-style egress impairments (paper Appendix A.1.1).
+
+The paper emulates mobile access links with the Linux traffic-control
+``netem`` qdisc: artificial delay, probabilistic packet loss, and — to
+emulate mobility — a 10 ms delay oscillation applied with 20 %
+probability.  :class:`Netem` reproduces those three knobs and carries
+the paper's LTE / 5G / WiFi-6 presets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Netem:
+    """Impairment profile attached to a link egress.
+
+    Parameters mirror ``tc qdisc add dev ... root netem``:
+
+    * ``delay_s`` — constant extra one-way delay.
+    * ``loss`` — independent per-packet drop probability.
+    * ``oscillation_s`` / ``oscillation_prob`` — extra delay added with
+      the given probability (the paper's "10 ms delay oscillation with
+      20% probability" mobility emulation).
+    """
+
+    delay_s: float = 0.0
+    loss: float = 0.0
+    oscillation_s: float = 0.0
+    oscillation_prob: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delay_s < 0:
+            raise ValueError(f"negative netem delay {self.delay_s}")
+        if not 0.0 <= self.loss <= 1.0:
+            raise ValueError(f"netem loss must be a probability, got {self.loss}")
+        if not 0.0 <= self.oscillation_prob <= 1.0:
+            raise ValueError(
+                f"oscillation_prob must be a probability, got {self.oscillation_prob}")
+
+    def drops(self, rng: np.random.Generator) -> bool:
+        """Draw whether this packet is dropped by the impairment."""
+        return self.loss > 0.0 and rng.random() < self.loss
+
+    def extra_delay(self, rng: np.random.Generator) -> float:
+        """Extra one-way delay for this packet."""
+        delay = self.delay_s
+        if (self.oscillation_s > 0.0 and self.oscillation_prob > 0.0
+                and rng.random() < self.oscillation_prob):
+            delay += self.oscillation_s
+        return delay
+
+
+def apply_netem_schedule(network, src: str, dst: str,
+                         schedule, symmetric: bool = True):
+    """Swap a link's netem profile over time (handover emulation).
+
+    ``schedule`` is a sequence of ``(at_s, profile)`` pairs — e.g. a
+    client walking out of WiFi-6 coverage onto LTE at t=30 s.  Returns
+    the simulation process driving the swaps.
+    """
+    entries = sorted(schedule, key=lambda pair: pair[0])
+    if not entries:
+        raise ValueError("schedule must contain at least one entry")
+    if entries[0][0] < 0:
+        raise ValueError("schedule times must be non-negative")
+
+    def driver():
+        for at_s, profile in entries:
+            delay = at_s - network.sim.now
+            if delay > 0:
+                yield network.sim.timeout(delay)
+            network.set_netem(src, dst, profile, symmetric=symmetric)
+
+    return network.sim.spawn(driver(), name=f"netem-{src}-{dst}")
+
+
+def mobility_oscillation() -> dict:
+    """The paper's mobility emulation: 10 ms oscillation, 20 % probability."""
+    return {"oscillation_s": 0.010, "oscillation_prob": 0.20}
+
+
+def lte_profile() -> Netem:
+    """LTE access: 40 ms RTT and 0.08 % loss [Dang et al., IMC'21]."""
+    return Netem(delay_s=0.040 / 2.0, loss=0.0008, **mobility_oscillation())
+
+
+def nr5g_profile(loss: float = 0.0001) -> Netem:
+    """5G access: 10 ms RTT, 1e-5 – 1e-4 loss [Rischke et al.]."""
+    return Netem(delay_s=0.010 / 2.0, loss=loss, **mobility_oscillation())
+
+
+def wifi6_profile(loss: float = 0.0001) -> Netem:
+    """WiFi-6 access: 5 ms RTT, 1e-5 – 1e-4 loss [Maldonado et al.]."""
+    return Netem(delay_s=0.005 / 2.0, loss=loss, **mobility_oscillation())

@@ -1,0 +1,228 @@
+"""Autoscaling policies: hardware-driven vs application-aware.
+
+The paper's future-work proposal (§6 "Application-Aware
+Orchestration"): extend scAtteR++'s sidecar to bridge the
+virtualization boundary, "providing predefined hooks for the
+orchestrator to access internal application metrics", because
+hardware-level utilization alone does not reflect QoS (insights I and
+IV).
+
+This module implements both sides of that comparison:
+
+* :class:`HardwareScalingPolicy` — what a conventional orchestrator
+  (Kubernetes HPA on node metrics) can do: scale a service when its
+  host machine's utilization crosses a threshold.  Under scAtteR-style
+  congestion the node sits at modest utilization while QoS collapses,
+  so this policy stays blind.
+* :class:`AppAwareScalingPolicy` — reads the sidecar's queue hooks
+  (drop ratio, queue depth) and scales the service that is actually
+  shedding frames.
+
+:class:`Autoscaler` runs a policy on an interval with hysteresis
+(consecutive breaches required, cooldown after actions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol
+
+from repro.dsp.operator import StreamService
+from repro.orchestra.orchestrator import Orchestrator
+from repro.orchestra.scheduler import SchedulingError
+
+
+@dataclass(frozen=True)
+class ScalingDecision:
+    """One autoscaler action, kept for reporting."""
+
+    timestamp_s: float
+    service: str
+    reason: str
+    replicas_after: int
+
+
+class ScalingPolicy(Protocol):
+    """Decides which services need another replica right now."""
+
+    def services_to_scale(
+            self, orchestrator: Orchestrator) -> Dict[str, tuple]:
+        """Map of service -> (severity, human-readable reason).
+
+        Severity orders competing candidates; the autoscaler only acts
+        on the worst offender per evaluation, so a cascade of
+        downstream symptoms does not trigger a scaling storm.
+        """
+
+
+class HardwareScalingPolicy:
+    """Node-utilization-threshold scaling (the conventional baseline).
+
+    Scales every service hosted on a machine whose CPU *or* GPU
+    utilization (over the last monitoring window) crosses the
+    threshold.  This is the visibility a hardware-metrics orchestrator
+    actually has — it cannot attribute congestion to a service, and
+    under the paper's workloads the node never looks busy enough.
+    """
+
+    def __init__(self, utilization_threshold: float = 0.80):
+        if not 0.0 < utilization_threshold <= 1.0:
+            raise ValueError(
+                f"threshold must be in (0, 1], got {utilization_threshold}")
+        self.utilization_threshold = utilization_threshold
+
+    def services_to_scale(self,
+                          orchestrator: Orchestrator) -> Dict[str, str]:
+        monitor = orchestrator.monitor
+        if not monitor.samples:
+            return {}
+        latest = monitor.samples[-1]
+        hot_machines = {
+            machine for machine in latest.cpu
+            if (latest.cpu.get(machine, 0.0) > self.utilization_threshold
+                or latest.gpu.get(machine, 0.0)
+                > self.utilization_threshold)
+        }
+        if not hot_machines:
+            return {}
+        decisions: Dict[str, tuple] = {}
+        for service in orchestrator.services():
+            for instance in orchestrator.instances(service):
+                machine = instance.container.machine.name
+                if machine in hot_machines:
+                    utilization = max(latest.cpu.get(machine, 0.0),
+                                      latest.gpu.get(machine, 0.0))
+                    decisions[service] = (
+                        utilization,
+                        f"machine {machine} utilization above "
+                        f"{self.utilization_threshold:.0%}")
+                    break
+        return decisions
+
+
+class AppAwareScalingPolicy:
+    """Sidecar-hook scaling (the paper's recommendation IV).
+
+    Reads each replica's sidecar telemetry through the predefined
+    hooks and scales the service whose queue is shedding frames (drop
+    ratio above threshold) or growing beyond bound.
+    """
+
+    def __init__(self, drop_ratio_threshold: float = 0.05,
+                 queue_depth_threshold: int = 16):
+        if drop_ratio_threshold <= 0:
+            raise ValueError("drop_ratio_threshold must be positive")
+        if queue_depth_threshold < 1:
+            raise ValueError("queue_depth_threshold must be >= 1")
+        self.drop_ratio_threshold = drop_ratio_threshold
+        self.queue_depth_threshold = queue_depth_threshold
+        #: cumulative (stale, dispatched) per instance for windowed
+        #: drop-ratio computation.
+        self._last_counts: Dict[str, tuple] = {}
+
+    def _window_drop_ratio(self, instance: StreamService) -> float:
+        sidecar = getattr(instance, "sidecar", None)
+        if sidecar is None:
+            return 0.0
+        key = str(instance.address)
+        stale = sidecar.stats.dropped_stale
+        dispatched = sidecar.stats.dispatched
+        last_stale, last_dispatched = self._last_counts.get(key, (0, 0))
+        self._last_counts[key] = (stale, dispatched)
+        window_stale = stale - last_stale
+        window_total = window_stale + (dispatched - last_dispatched)
+        return window_stale / window_total if window_total else 0.0
+
+    def services_to_scale(
+            self, orchestrator: Orchestrator) -> Dict[str, tuple]:
+        decisions: Dict[str, tuple] = {}
+        for service in orchestrator.services():
+            for instance in orchestrator.instances(service):
+                drop_ratio = self._window_drop_ratio(instance)
+                sidecar = getattr(instance, "sidecar", None)
+                depth = sidecar.depth if sidecar is not None else 0
+                if drop_ratio > self.drop_ratio_threshold:
+                    decisions[service] = (
+                        drop_ratio, f"queue drop ratio {drop_ratio:.0%}")
+                    break
+                if depth > self.queue_depth_threshold:
+                    decisions[service] = (
+                        drop_ratio + 0.01, f"queue depth {depth}")
+                    break
+        return decisions
+
+
+class Autoscaler:
+    """Periodic scaling loop with hysteresis and cooldown."""
+
+    def __init__(self, orchestrator: Orchestrator,
+                 policy: ScalingPolicy, *, interval_s: float = 5.0,
+                 breaches_required: int = 2, cooldown_s: float = 10.0,
+                 max_replicas: int = 4,
+                 placement_machine: Optional[str] = None):
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        if breaches_required < 1:
+            raise ValueError("breaches_required must be >= 1")
+        if max_replicas < 1:
+            raise ValueError("max_replicas must be >= 1")
+        self.orchestrator = orchestrator
+        self.policy = policy
+        self.interval_s = interval_s
+        self.breaches_required = breaches_required
+        self.cooldown_s = cooldown_s
+        self.max_replicas = max_replicas
+        self.placement_machine = placement_machine
+        self.decisions: List[ScalingDecision] = []
+        self._breaches: Dict[str, int] = {}
+        self._cooldown_until: Dict[str, float] = {}
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.orchestrator.sim.spawn(self._loop(), name="autoscaler")
+
+    def _loop(self):
+        while True:
+            yield self.orchestrator.sim.timeout(self.interval_s)
+            self.evaluate()
+
+    def evaluate(self) -> List[ScalingDecision]:
+        """One policy evaluation; scales at most the worst offender."""
+        now = self.orchestrator.sim.now
+        flagged = self.policy.services_to_scale(self.orchestrator)
+        for service in self.orchestrator.services():
+            if service in flagged:
+                self._breaches[service] = \
+                    self._breaches.get(service, 0) + 1
+            else:
+                self._breaches[service] = 0
+
+        candidates = []
+        for service, (severity, reason) in flagged.items():
+            if self._breaches.get(service, 0) < self.breaches_required:
+                continue
+            if now < self._cooldown_until.get(service, 0.0):
+                continue
+            if len(self.orchestrator.instances(service)) \
+                    >= self.max_replicas:
+                continue
+            candidates.append((severity, service, reason))
+        if not candidates:
+            return []
+
+        __, service, reason = max(candidates)
+        try:
+            self.orchestrator.scale_up(service,
+                                       machine=self.placement_machine)
+        except SchedulingError:
+            return []
+        self._breaches[service] = 0
+        self._cooldown_until[service] = now + self.cooldown_s
+        decision = ScalingDecision(
+            timestamp_s=now, service=service, reason=reason,
+            replicas_after=len(self.orchestrator.instances(service)))
+        self.decisions.append(decision)
+        return [decision]

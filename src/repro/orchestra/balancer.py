@@ -1,0 +1,51 @@
+"""Replica load-balancing policies.
+
+Oakestra balances requests round-robin across replicas and, crucially,
+stays unaware of application state and internal congestion (§4).  The
+registry implements round-robin natively; this module provides the
+*least-loaded* alternative used by the ablation benchmarks — it peeks
+at instance busyness, approximating an application-aware balancer the
+paper's recommendation IV calls for.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.net.addresses import Address
+
+
+def least_loaded_balancer(
+        load_of: Callable[[Address], float]
+) -> Callable[[str, List[Address]], Address]:
+    """Build a registry balancer choosing the instance with least load.
+
+    ``load_of`` maps an instance address to a load scalar (e.g. sidecar
+    queue depth, or 1.0/0.0 busy flag).  Ties break by address order so
+    behaviour stays deterministic.
+    """
+    def balance(service: str, instances: List[Address]) -> Address:
+        return min(sorted(instances), key=lambda addr: (load_of(addr),))
+
+    return balance
+
+
+def weighted_round_robin_balancer(
+        weights: Dict[Address, int]
+) -> Callable[[str, List[Address]], Address]:
+    """Deterministic weighted round-robin (heavier replicas picked more).
+
+    Useful when replicas sit on machines of different capability (E2's
+    A40s finish frames faster than E1's RTX 2080s).
+    """
+    counters: Dict[str, int] = {}
+
+    def balance(service: str, instances: List[Address]) -> Address:
+        expanded: List[Address] = []
+        for address in sorted(instances):
+            expanded.extend([address] * max(1, weights.get(address, 1)))
+        index = counters.get(service, 0)
+        counters[service] = index + 1
+        return expanded[index % len(expanded)]
+
+    return balance

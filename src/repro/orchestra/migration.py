@@ -1,0 +1,99 @@
+"""Live service migration.
+
+Oakestra "facilitates dynamic migrations and scaling of AR services"
+(§1) — this module implements the migration half as a
+make-before-break sequence:
+
+1. **Start** a replacement replica on the target machine (container
+   image pull + start, modelled as ``startup_delay_s``).
+2. **Shift** traffic: the replacement registers with the semantic
+   address, the old replica deregisters — new frames flow to the
+   replacement while in-flight work drains.
+3. **Drain & stop** the old replica after ``drain_s``.
+
+For a *stateless* service (scAtteR++) this is seamless.  For the
+stateful ``sift`` the in-memory frame state cannot move: frames whose
+state lives on the old replica lose their fetches once it stops — the
+fault-tolerance cost of state the paper's §5 motivates away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dsp.operator import StreamService
+from repro.orchestra.orchestrator import Orchestrator, OrchestratorError
+
+
+@dataclass
+class MigrationRecord:
+    """Timeline of one migration."""
+
+    service: str
+    source: str
+    target: str
+    started_s: float
+    traffic_shifted_s: Optional[float] = None
+    completed_s: Optional[float] = None
+
+    @property
+    def duration_s(self) -> Optional[float]:
+        if self.completed_s is None:
+            return None
+        return self.completed_s - self.started_s
+
+
+class MigrationController:
+    """Performs make-before-break migrations on an orchestrator."""
+
+    def __init__(self, orchestrator: Orchestrator, *,
+                 startup_delay_s: float = 1.5, drain_s: float = 0.5):
+        if startup_delay_s < 0 or drain_s < 0:
+            raise ValueError("delays must be non-negative")
+        self.orchestrator = orchestrator
+        self.startup_delay_s = startup_delay_s
+        self.drain_s = drain_s
+        self.records: List[MigrationRecord] = []
+
+    def migrate(self, service: str, instance: StreamService,
+                target_machine: str) -> MigrationRecord:
+        """Begin migrating ``instance`` to ``target_machine``.
+
+        Returns the (live-updated) :class:`MigrationRecord`; the
+        migration itself runs as a simulation process.
+        """
+        if instance not in self.orchestrator.instances(service):
+            raise OrchestratorError(
+                f"{instance!r} is not a live replica of {service!r}")
+        if instance.container.machine.name == target_machine:
+            raise OrchestratorError(
+                f"{service} replica already runs on {target_machine}")
+        record = MigrationRecord(
+            service=service,
+            source=instance.container.machine.name,
+            target=target_machine,
+            started_s=self.orchestrator.sim.now)
+        self.records.append(record)
+        self.orchestrator.sim.spawn(
+            self._run(service, instance, target_machine, record),
+            name=f"migrate-{service}")
+        return record
+
+    def _run(self, service: str, old_instance: StreamService,
+             target_machine: str, record: MigrationRecord):
+        sim = self.orchestrator.sim
+        # Phase 1: image pull + container start on the target.  The
+        # replacement registers itself when started, at which point
+        # the balancer already spreads new frames across old + new.
+        yield sim.timeout(self.startup_delay_s)
+        self.orchestrator.scale_up(service, machine=target_machine)
+        # Phase 2: take the old replica out of the semantic address so
+        # all traffic shifts to the replacement.
+        self.orchestrator.registry.deregister(service,
+                                              old_instance.address)
+        record.traffic_shifted_s = sim.now
+        # Phase 3: drain in-flight work, then stop the old container.
+        yield sim.timeout(self.drain_s)
+        self.orchestrator.remove_instance(service, old_instance)
+        record.completed_s = sim.now

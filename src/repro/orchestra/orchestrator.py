@@ -1,0 +1,160 @@
+"""The orchestrator: deployment, scaling, monitoring, self-healing.
+
+Ties the pieces together the way Oakestra does for scAtteR (§3.2):
+services are deployed from SLAs through the scheduler, registered for
+semantic addressing, watched by the hardware monitor, and replaced
+automatically when they fail.  The orchestrator's worldview is
+hardware-only — it never sees FPS or queue depths, which is exactly
+the blind spot the paper characterizes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.cluster.container import Container, ContainerState
+from repro.cluster.machine import Machine
+from repro.cluster.testbed import Testbed
+from repro.dsp.operator import StreamService
+from repro.metrics.hardware import HardwareMonitor
+from repro.net.addresses import Address, ServiceRegistry
+from repro.orchestra.scheduler import Scheduler
+from repro.orchestra.sla import ServiceSla
+
+
+class OrchestratorError(RuntimeError):
+    """Raised for orchestration misuse (unknown service/instance)."""
+
+
+#: Builds a service replica.  The orchestrator chooses machine and
+#: address; the application supplies everything else.
+ServiceFactory = Callable[[ServiceSla, Machine, Address],
+                          StreamService]
+
+
+class Orchestrator:
+    """Manages the lifecycle of pipeline services on a testbed."""
+
+    #: Port range services are bound on, one port per deployed replica.
+    BASE_PORT = 6000
+
+    def __init__(self, testbed: Testbed, *,
+                 registry: Optional[ServiceRegistry] = None,
+                 monitor_interval_s: float = 1.0,
+                 redeploy_delay_s: float = 1.0,
+                 base_port: Optional[int] = None):
+        self.testbed = testbed
+        self.sim = testbed.sim
+        self.registry = registry if registry is not None else ServiceRegistry()
+        self.scheduler = Scheduler(testbed.machines)
+        self.monitor = HardwareMonitor(
+            testbed.sim, testbed.machines.values(),
+            interval_s=monitor_interval_s)
+        self.redeploy_delay_s = redeploy_delay_s
+        self._instances: Dict[str, List[StreamService]] = {}
+        self._factories: Dict[str, ServiceFactory] = {}
+        self._slas: Dict[str, ServiceSla] = {}
+        # Distinct port ranges let several orchestrators (independent
+        # applications) coexist on one testbed without bind clashes.
+        self._next_port = (self.BASE_PORT if base_port is None
+                           else base_port)
+        self._watchdog_running = False
+        self.redeploy_count = 0
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def deploy(self, sla: ServiceSla, factory: ServiceFactory,
+               replicas: int = 1) -> List[StreamService]:
+        """Deploy ``replicas`` instances of a service per its SLA."""
+        if replicas < 1:
+            raise OrchestratorError(f"replicas must be >= 1, got {replicas}")
+        self._factories[sla.service] = factory
+        self._slas[sla.service] = sla
+        return [self._deploy_one(sla, factory) for __ in range(replicas)]
+
+    def scale_up(self, service: str,
+                 machine: Optional[str] = None) -> StreamService:
+        """Add one replica (optionally pinned to ``machine``)."""
+        sla = self._slas.get(service)
+        factory = self._factories.get(service)
+        if sla is None or factory is None:
+            raise OrchestratorError(f"service {service!r} never deployed")
+        if machine is not None:
+            sla = ServiceSla(service=sla.service,
+                             memory_bytes=sla.memory_bytes,
+                             requires_gpu=sla.requires_gpu,
+                             machine=machine)
+        return self._deploy_one(sla, factory)
+
+    def scale_down(self, service: str) -> None:
+        """Remove the most recently added replica of ``service``."""
+        instances = self._instances.get(service)
+        if not instances:
+            raise OrchestratorError(f"no instances of {service!r}")
+        instance = instances.pop()
+        instance.stop()
+
+    def remove_instance(self, service: str,
+                        instance: StreamService) -> None:
+        """Stop and forget one specific replica (used by migration)."""
+        instances = self._instances.get(service, [])
+        if instance not in instances:
+            raise OrchestratorError(
+                f"{instance!r} is not a live replica of {service!r}")
+        instances.remove(instance)
+        instance.stop()
+
+    def _deploy_one(self, sla: ServiceSla,
+                    factory: ServiceFactory) -> StreamService:
+        machine = self.scheduler.place(sla)
+        address = Address(machine.name, self._next_port)
+        self._next_port += 1
+        instance = factory(sla, machine, address)
+        instance.start()
+        self.monitor.watch(instance.container)
+        self._instances.setdefault(sla.service, []).append(instance)
+        return instance
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def instances(self, service: str) -> List[StreamService]:
+        return list(self._instances.get(service, []))
+
+    def all_instances(self) -> List[StreamService]:
+        return [instance for instances in self._instances.values()
+                for instance in instances]
+
+    def services(self) -> List[str]:
+        return sorted(self._instances)
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def fail_instance(self, instance: StreamService) -> None:
+        """Crash a replica (test/chaos hook)."""
+        instance.stop(failed=True)
+
+    def start(self) -> None:
+        """Start monitoring and the failure watchdog."""
+        self.monitor.start()
+        if not self._watchdog_running:
+            self._watchdog_running = True
+            self.sim.spawn(self._watchdog(), name="orchestrator-watchdog")
+
+    def _watchdog(self):
+        """Replace failed containers, Oakestra's automatic redeploy."""
+        while True:
+            yield self.sim.timeout(self.redeploy_delay_s)
+            for service, instances in list(self._instances.items()):
+                failed = [i for i in instances
+                          if i.container.state is ContainerState.FAILED]
+                for instance in failed:
+                    instances.remove(instance)
+                    sla = self._slas[service]
+                    factory = self._factories[service]
+                    # Keep the replacement on the same machine when the
+                    # original SLA pinned one; otherwise reschedule.
+                    self._deploy_one(sla, factory)
+                    self.redeploy_count += 1

@@ -1,0 +1,150 @@
+"""Analytic placement optimization.
+
+The paper hand-picks its placement configurations (C1/C2/C12/C21) and
+cites placement-optimization work (Wang et al.) it does not implement.
+This module closes that loop: it scores every assignment of the five
+pipeline stages to a machine set with a small analytic model — GPU
+slot contention (services co-located on a GPU serialize per frame),
+device speed factors, and inter-machine hop latency — and returns the
+placement maximizing predicted throughput or minimizing predicted
+latency.
+
+The model intentionally mirrors the simulator's mechanics, so its
+predictions can be validated against simulation (see
+``tests/test_placement.py``): the *ranking* it produces is what
+matters, not the absolute numbers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.scatter import config as scatter_config
+from repro.scatter.config import PIPELINE_ORDER, PlacementConfig
+
+#: Relative GPU speed per machine (matches the testbed's devices).
+DEFAULT_GPU_FACTORS = {"e1": 1.00, "e2": 0.85, "cloud": 1.10}
+#: Relative CPU speed per machine.
+DEFAULT_CPU_FACTORS = {"e1": 1.00, "e2": 0.95, "cloud": 1.30}
+#: GPUs per machine.
+DEFAULT_GPU_COUNTS = {"e1": 2, "e2": 2, "cloud": 1}
+#: One-way client access latency to each machine (seconds).
+DEFAULT_ACCESS_S = {"e1": 0.0005, "e2": 0.002, "cloud": 0.0075}
+#: One-way inter-machine hop latency (seconds, symmetric).
+DEFAULT_HOP_S = {
+    frozenset(("e1", "e2")): 0.0015,
+    frozenset(("e1", "cloud")): 0.0075,
+    frozenset(("e2", "cloud")): 0.009,
+}
+
+
+@dataclass(frozen=True)
+class PlacementEstimate:
+    """Analytic prediction for one placement."""
+
+    placement: PlacementConfig
+    throughput_fps: float
+    e2e_ms: float
+
+
+class PlacementOptimizer:
+    """Exhaustive search over stage→machine assignments."""
+
+    def __init__(self, machines: Sequence[str] = ("e1", "e2"), *,
+                 gpu_factors: Optional[Dict[str, float]] = None,
+                 cpu_factors: Optional[Dict[str, float]] = None,
+                 gpu_counts: Optional[Dict[str, int]] = None,
+                 service_times: Optional[Dict[str, float]] = None):
+        if not machines:
+            raise ValueError("need at least one machine")
+        self.machines = list(machines)
+        self.gpu_factors = gpu_factors or DEFAULT_GPU_FACTORS
+        self.cpu_factors = cpu_factors or DEFAULT_CPU_FACTORS
+        self.gpu_counts = gpu_counts or DEFAULT_GPU_COUNTS
+        self.service_times = (service_times
+                              or scatter_config.SERVICE_TIME_S)
+        for machine in self.machines:
+            for table, label in ((self.gpu_factors, "gpu_factors"),
+                                 (self.cpu_factors, "cpu_factors"),
+                                 (self.gpu_counts, "gpu_counts")):
+                if machine not in table:
+                    raise ValueError(
+                        f"machine {machine!r} missing from {label}")
+
+    # ------------------------------------------------------------------
+    def estimate(self, assignment: Dict[str, str]) -> PlacementEstimate:
+        """Predict throughput and single-client E2E for one assignment
+        (service name -> machine name)."""
+        # GPU assignment mirrors deployment: round-robin per machine
+        # over its devices, in pipeline deployment order.
+        gpu_loads: Dict[Tuple[str, int], float] = {}
+        next_gpu: Dict[str, int] = {}
+        service_rates: List[float] = []
+        for service in PIPELINE_ORDER:
+            machine = assignment[service]
+            base = self.service_times[service]
+            if scatter_config.SERVICE_USES_GPU[service]:
+                scaled = base * self.gpu_factors[machine]
+                index = next_gpu.get(machine, 0) % \
+                    self.gpu_counts[machine]
+                next_gpu[machine] = next_gpu.get(machine, 0) + 1
+                key = (machine, index)
+                gpu_loads[key] = gpu_loads.get(key, 0.0) + scaled
+            else:
+                scaled = base * self.cpu_factors[machine]
+                service_rates.append(1.0 / scaled)
+
+        # Every frame passes every service once, so a GPU's sustainable
+        # frame rate is 1 / (sum of its resident services' times).
+        gpu_rates = [1.0 / load for load in gpu_loads.values()]
+        throughput = min(service_rates + gpu_rates)
+
+        # Latency: compute plus client access plus inter-stage hops
+        # plus the result's way back.
+        latency = 0.0
+        for service in PIPELINE_ORDER:
+            machine = assignment[service]
+            base = self.service_times[service]
+            factor = (self.gpu_factors[machine]
+                      if scatter_config.SERVICE_USES_GPU[service]
+                      else self.cpu_factors[machine])
+            latency += base * factor
+        latency += DEFAULT_ACCESS_S[assignment[PIPELINE_ORDER[0]]]
+        latency += DEFAULT_ACCESS_S[assignment[PIPELINE_ORDER[-1]]]
+        for a, b in zip(PIPELINE_ORDER, PIPELINE_ORDER[1:]):
+            machine_a, machine_b = assignment[a], assignment[b]
+            if machine_a != machine_b:
+                latency += DEFAULT_HOP_S.get(
+                    frozenset((machine_a, machine_b)), 0.002)
+
+        name = "[" + ", ".join(
+            assignment[s].upper() for s in PIPELINE_ORDER) + "]"
+        placement = PlacementConfig(
+            name, {s: [assignment[s]] for s in PIPELINE_ORDER})
+        return PlacementEstimate(placement=placement,
+                                 throughput_fps=throughput,
+                                 e2e_ms=latency * 1000.0)
+
+    def search(self) -> List[PlacementEstimate]:
+        """Estimates for every assignment, best throughput first."""
+        estimates = []
+        for combo in itertools.product(self.machines,
+                                       repeat=len(PIPELINE_ORDER)):
+            assignment = dict(zip(PIPELINE_ORDER, combo))
+            estimates.append(self.estimate(assignment))
+        estimates.sort(key=lambda e: (-e.throughput_fps, e.e2e_ms))
+        return estimates
+
+    def best(self, objective: str = "throughput") -> PlacementEstimate:
+        """The optimal placement under the given objective."""
+        estimates = self.search()
+        if objective == "throughput":
+            return estimates[0]
+        if objective == "latency":
+            return min(estimates, key=lambda e: (e.e2e_ms,
+                                                 -e.throughput_fps))
+        raise ValueError(
+            f"objective must be 'throughput' or 'latency', "
+            f"got {objective!r}")

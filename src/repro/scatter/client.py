@@ -1,0 +1,106 @@
+"""The virtualized AR client.
+
+Clients run as containers on NUC machines and replay the pre-recorded
+10 s / 30 FPS video in a loop (§3.2), streaming frames to the pipeline
+ingress (``primary``) over UDP and collecting results into
+:class:`~repro.metrics.qos.ClientStats`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.dsp.record import FrameRecord, RecordKind
+from repro.metrics.qos import ClientStats
+from repro.net.addresses import Address, ServiceRegistry
+from repro.net.datagram import Datagram
+from repro.net.topology import Network
+from repro.scatter import config
+from repro.sim.kernel import Simulator
+
+
+class ArClient:
+    """One video-replaying client."""
+
+    BASE_PORT = 9000
+
+    def __init__(self, *, client_id: int, node: str, network: Network,
+                 registry: ServiceRegistry,
+                 fps: float = config.CLIENT_FPS,
+                 start_offset_s: Optional[float] = None,
+                 rng: Optional[np.random.Generator] = None):
+        if fps <= 0:
+            raise ValueError(f"fps must be positive, got {fps}")
+        self.client_id = client_id
+        self.node = node
+        self.network = network
+        self.sim: Simulator = network.sim
+        self.registry = registry
+        self.fps = fps
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        # Desynchronize clients slightly, as independent devices are.
+        if start_offset_s is None:
+            start_offset_s = float(client_id) * 0.7 / fps
+        self.start_offset_s = start_offset_s
+        self.address = Address(node, self.BASE_PORT + client_id)
+        self.stats = ClientStats(client_id=client_id)
+        #: Optional distributed tracer (see repro.metrics.tracing).
+        self.tracer = None
+        self._running = False
+        network.bind(self.address, self._on_delivery)
+
+    def _on_delivery(self, datagram: Datagram) -> None:
+        record = datagram.payload
+        if (isinstance(record, FrameRecord)
+                and record.kind is RecordKind.RESULT
+                and record.client_id == self.client_id):
+            self.stats.record_received(record.frame_number, self.sim.now)
+            if self.tracer is not None:
+                self.tracer.record_delivery(record.key,
+                                            record.created_s,
+                                            self.sim.now)
+
+    def start(self, duration_s: float) -> None:
+        """Begin streaming for ``duration_s`` seconds."""
+        if duration_s <= 0:
+            raise ValueError(
+                f"duration_s must be positive, got {duration_s}")
+        if self._running:
+            raise RuntimeError("client already started")
+        self._running = True
+        self.sim.spawn(self._stream(duration_s),
+                       name=f"client-{self.client_id}")
+
+    def _stream(self, duration_s: float):
+        yield self.sim.timeout(self.start_offset_s)
+        interval = 1.0 / self.fps
+        deadline = self.sim.now + duration_s
+        frame_number = 0
+        while self.sim.now < deadline:
+            self._send_frame(frame_number)
+            frame_number += 1
+            # Camera timing has a little jitter of its own.
+            wobble = float(self.rng.normal(0.0, interval * 0.01))
+            yield self.sim.timeout(max(0.0, interval + wobble))
+        self._running = False
+
+    def _send_frame(self, frame_number: int) -> None:
+        record = FrameRecord(
+            client_id=self.client_id, frame_number=frame_number,
+            reply_to=self.address, step="primary",
+            created_s=self.sim.now,
+            size_bytes=config.WIRE_SIZES["client->primary"])
+        self.stats.record_sent(frame_number, self.sim.now)
+        if self.tracer is not None:
+            self.tracer.ensure((self.client_id, frame_number),
+                               self.sim.now)
+        try:
+            ingress = self.registry.resolve("primary")
+        except LookupError:
+            return  # pipeline not deployed: the frame is lost
+        datagram = Datagram(payload=record, size_bytes=record.size_bytes,
+                            src=self.address, dst=ingress)
+        self.network.send(self.node, ingress, datagram,
+                          record.size_bytes)

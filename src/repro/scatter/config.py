@@ -1,0 +1,193 @@
+"""Pipeline constants, calibration and placement configurations.
+
+Calibration targets §3.2/§4: single-client E2E ≈ 40 ms on the edge with
+per-service latencies on the scale of Fig. 2, and the paper's wire
+sizes (≈180 KB pre-processed frames, §5).  All times are E1-calibrated
+base seconds — containers scale them by their device's speed factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cluster.machine import GB
+
+#: The pipeline stages in dataflow order (§3.1, Figure 1).
+PIPELINE_ORDER = ["primary", "sift", "encoding", "lsh", "matching"]
+
+#: E1-calibrated compute per frame (seconds).  Sum ≈ 36 ms; with
+#: network hops and client access the single-client E2E lands ≈ 40 ms.
+SERVICE_TIME_S = {
+    "primary": 0.0040,
+    "sift": 0.0125,
+    "encoding": 0.0070,
+    "lsh": 0.0040,
+    "matching": 0.0085,
+}
+
+#: Handling time of a state-fetch request at sift (a memory lookup and
+#: a reply; §3.1).
+SIFT_FETCH_TIME_S = 0.0015
+
+#: How long matching waits for sift's state before discarding the
+#: frame ("matching starts discarding requests ... since it is busy
+#: waiting for sift's output", §4).
+FETCH_TIMEOUT_S = 0.040
+
+#: sift's in-memory state TTL ("till timeout", §3.1).
+STATE_TTL_S = 2.0
+
+#: Bytes held in sift's memory per pending frame: the frame copy plus
+#: extracted descriptors and working buffers at 720p.
+STATE_ENTRY_BYTES = 12 * 1024 * 1024
+
+#: Container base footprints (model weights, runtimes).
+SERVICE_MEMORY_BYTES = {
+    "primary": 0.4 * GB,
+    "sift": 1.5 * GB,
+    "encoding": 1.2 * GB,
+    "lsh": 0.8 * GB,
+    "matching": 1.0 * GB,
+}
+
+#: Fraction of a GPU's compute each service's kernels keep busy while
+#: resident (occupancy != utilization; nvidia-smi-style utilization is
+#: what the orchestrator reports).
+GPU_INTENSITY = {
+    "primary": 1.0,    # unused: CPU-only
+    "sift": 0.25,
+    "encoding": 0.50,
+    "lsh": 0.35,
+    "matching": 0.70,
+}
+
+#: Which services need a GPU (§3.1: all except primary).
+SERVICE_USES_GPU = {
+    "primary": False,
+    "sift": True,
+    "encoding": True,
+    "lsh": True,
+    "matching": True,
+}
+
+#: Wire sizes of records on each leg of the pipeline (bytes).
+WIRE_SIZES = {
+    "client->primary": 250 * 1024,
+    "primary->sift": 180 * 1024,       # pre-processed frame (§5)
+    "sift->encoding": 120 * 1024,      # descriptors
+    "encoding->lsh": 12 * 1024,        # Fisher vector
+    "lsh->matching": 6 * 1024,         # NN shortlist
+    "matching->sift": 1 * 1024,        # state fetch request
+    "sift->matching": 150 * 1024,      # stored features reply
+    "matching->client": 24 * 1024,     # augmented result
+}
+
+#: The client replay stream (§3.2).
+CLIENT_FPS = 30.0
+VIDEO_DURATION_S = 10.0
+
+
+@dataclass(frozen=True)
+class PlacementConfig:
+    """Where each service's replicas run.
+
+    ``placements[service]`` lists one machine name per replica, in
+    deployment order; the first entry is the baseline instance.
+    """
+
+    name: str
+    placements: Dict[str, List[str]]
+
+    def __post_init__(self) -> None:
+        missing = [s for s in PIPELINE_ORDER if s not in self.placements]
+        if missing:
+            raise ValueError(f"{self.name}: missing services {missing}")
+        for service, machines in self.placements.items():
+            if not machines:
+                raise ValueError(
+                    f"{self.name}: service {service} has no replicas")
+
+    def replicas(self, service: str) -> int:
+        return len(self.placements[service])
+
+    def replica_vector(self) -> List[int]:
+        """Replica counts in pipeline order (the paper's [n,n,n,n,n])."""
+        return [self.replicas(s) for s in PIPELINE_ORDER]
+
+    def machines_used(self) -> List[str]:
+        names = {m for machines in self.placements.values()
+                 for m in machines}
+        return sorted(names)
+
+
+def uniform_config(name: str, machine: str) -> PlacementConfig:
+    """Every service single-instance on one machine."""
+    return PlacementConfig(name, {s: [machine] for s in PIPELINE_ORDER})
+
+
+def split_config(name: str, front: str, back: str) -> PlacementConfig:
+    """primary+sift on ``front``; encoding+lsh+matching on ``back``."""
+    return PlacementConfig(name, {
+        "primary": [front],
+        "sift": [front],
+        "encoding": [back],
+        "lsh": [back],
+        "matching": [back],
+    })
+
+
+def baseline_configs() -> Dict[str, PlacementConfig]:
+    """The four §4 edge deployment configurations.
+
+    * C1  — everything on E1.
+    * C2  — everything on E2.
+    * C12 — [E1, E1, E2, E2, E2]: primary+sift on E1, rest on E2.
+    * C21 — [E2, E2, E1, E1, E1]: the mirror of C12.
+    """
+    return {
+        "C1": uniform_config("C1", "e1"),
+        "C2": uniform_config("C2", "e2"),
+        "C12": split_config("C12", "e1", "e2"),
+        "C21": split_config("C21", "e2", "e1"),
+    }
+
+
+def scaling_config(counts: List[int], *, base_machine: str = "e2",
+                   replica_machine: str = "e1",
+                   name: str = "") -> PlacementConfig:
+    """A §4 "Service Scalability" configuration.
+
+    ``counts`` is the replica vector in pipeline order (e.g.
+    ``[2, 2, 1, 1, 1]``).  The first replica of every service runs on
+    ``base_machine``; additional replicas go to ``replica_machine``
+    (the paper scales the E2 baseline with extra replicas on E1).
+    """
+    if len(counts) != len(PIPELINE_ORDER):
+        raise ValueError(
+            f"expected {len(PIPELINE_ORDER)} counts, got {len(counts)}")
+    if any(count < 1 for count in counts):
+        raise ValueError(f"every count must be >= 1, got {counts}")
+    placements = {}
+    for service, count in zip(PIPELINE_ORDER, counts):
+        placements[service] = ([base_machine]
+                               + [replica_machine] * (count - 1))
+    label = name or "[" + ", ".join(str(c) for c in counts) + "]"
+    return PlacementConfig(label, placements)
+
+
+def cloud_config() -> PlacementConfig:
+    """Everything on the cloud VM (§4 "Cloud Deployment")."""
+    return uniform_config("cloud", "cloud")
+
+
+def hybrid_config() -> PlacementConfig:
+    """[E1, C, C, C, C]: primary at the edge, the rest in the cloud
+    (Appendix A.1.2)."""
+    return PlacementConfig("hybrid", {
+        "primary": ["e1"],
+        "sift": ["cloud"],
+        "encoding": ["cloud"],
+        "lsh": ["cloud"],
+        "matching": ["cloud"],
+    })

@@ -1,0 +1,87 @@
+"""Content-driven service times.
+
+The calibrated base times model the *average* frame, but real vision
+workloads cost what the frame contains: more texture → more keypoints
+→ more SIFT/encoding/matching work.  :class:`ContentCostModel` bridges
+the real CV substrate and the simulation: it derives a per-frame
+complexity score from the actual replay-video frames (gradient energy,
+the standard cheap proxy for feature density) and turns it into a
+multiplicative service-time factor.
+
+Because every client replays the same looped video (§3.2), a service
+can look the factor up from the frame number alone — no extra wire
+metadata.  Attach via ``ScatterPipeline``'s ``service_kwargs``::
+
+    model = ContentCostModel.from_video(SyntheticVideo(seed=0))
+    pipeline_kwargs = {"service_kwargs": {
+        name: {"cost_model": model} for name in PIPELINE_ORDER}}
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.vision.image import image_gradients
+
+
+class ContentCostModel:
+    """Per-frame service-time multipliers from frame content."""
+
+    def __init__(self, complexities: Dict[int, float], *,
+                 sensitivity: float = 0.25):
+        if not complexities:
+            raise ValueError("need at least one frame complexity")
+        if not 0.0 <= sensitivity < 1.0:
+            raise ValueError(
+                f"sensitivity must be in [0, 1), got {sensitivity}")
+        self.sensitivity = sensitivity
+        self.period = max(complexities) + 1
+        values = np.array([complexities.get(i, np.nan)
+                           for i in range(self.period)])
+        # Interpolate any frames that were not sampled.
+        if np.isnan(values).any():
+            known = np.flatnonzero(~np.isnan(values))
+            values = np.interp(np.arange(self.period), known,
+                               values[known])
+        mean = float(values.mean())
+        spread = float(values.std()) or 1.0
+        normalized = np.clip((values - mean) / (2.0 * spread),
+                             -1.0, 1.0)
+        self._multipliers = 1.0 + sensitivity * normalized
+
+    @classmethod
+    def from_video(cls, video, *, sensitivity: float = 0.25,
+                   sample_stride: int = 10) -> "ContentCostModel":
+        """Score a :class:`~repro.vision.video.SyntheticVideo`.
+
+        Samples every ``sample_stride``-th frame (rendering frames is
+        the expensive part) and interpolates between samples.
+        """
+        if sample_stride < 1:
+            raise ValueError(
+                f"sample_stride must be >= 1, got {sample_stride}")
+        complexities = {}
+        for index in range(0, video.num_frames, sample_stride):
+            complexities[index] = cls.frame_complexity(
+                video.frame(index).image)
+        complexities[video.num_frames - 1] = complexities.get(
+            video.num_frames - 1,
+            complexities[max(complexities)])
+        return cls(complexities, sensitivity=sensitivity)
+
+    @staticmethod
+    def frame_complexity(image: np.ndarray) -> float:
+        """Mean gradient magnitude — a cheap feature-density proxy."""
+        magnitude, __ = image_gradients(image)
+        return float(magnitude.mean())
+
+    def multiplier(self, frame_number: int) -> float:
+        """Service-time factor for a (looped) frame number."""
+        return float(self._multipliers[frame_number % self.period])
+
+    @property
+    def multiplier_range(self) -> tuple:
+        return (float(self._multipliers.min()),
+                float(self._multipliers.max()))

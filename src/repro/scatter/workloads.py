@@ -1,0 +1,94 @@
+"""Alternative client workload generators.
+
+The paper's clients replay a fixed 30 FPS video — a perfectly periodic
+arrival process.  Real deployments also see open-loop and bursty
+sources (variable-bitrate encoders, users toggling AR on and off).
+These generators let sensitivity analyses vary the arrival process
+while keeping every other methodology knob fixed:
+
+* :class:`PoissonArrivalClient` — exponential inter-frame gaps at the
+  same mean rate (memoryless arrivals, the queueing-theory worst case
+  for a no-queue pipeline).
+* :class:`BurstyClient` — on/off (interrupted) arrivals: bursts at a
+  high in-burst rate separated by silences, with the same long-run
+  average rate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scatter import config
+from repro.scatter.client import ArClient
+
+
+class PoissonArrivalClient(ArClient):
+    """Open-loop Poisson frame arrivals at mean ``fps``."""
+
+    def _stream(self, duration_s: float):
+        yield self.sim.timeout(self.start_offset_s)
+        deadline = self.sim.now + duration_s
+        frame_number = 0
+        mean_interval = 1.0 / self.fps
+        while self.sim.now < deadline:
+            self._send_frame(frame_number)
+            frame_number += 1
+            gap = float(self.rng.exponential(mean_interval))
+            yield self.sim.timeout(gap)
+        self._running = False
+
+
+class BurstyClient(ArClient):
+    """On/off arrivals: ``burst_fps`` while on, silent while off.
+
+    ``duty_cycle`` is the fraction of time spent in a burst; the
+    long-run mean rate is ``burst_fps * duty_cycle``.
+    """
+
+    def __init__(self, *, burst_fps: float = 2.0 * config.CLIENT_FPS,
+                 duty_cycle: float = 0.5, burst_length_s: float = 1.0,
+                 **kwargs):
+        if burst_fps <= 0:
+            raise ValueError(f"burst_fps must be positive, got {burst_fps}")
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ValueError(
+                f"duty_cycle must be in (0, 1], got {duty_cycle}")
+        if burst_length_s <= 0:
+            raise ValueError(
+                f"burst_length_s must be positive, got {burst_length_s}")
+        super().__init__(fps=burst_fps * duty_cycle, **kwargs)
+        self.burst_fps = burst_fps
+        self.duty_cycle = duty_cycle
+        self.burst_length_s = burst_length_s
+
+    def _stream(self, duration_s: float):
+        yield self.sim.timeout(self.start_offset_s)
+        deadline = self.sim.now + duration_s
+        frame_number = 0
+        silence_s = (self.burst_length_s * (1.0 - self.duty_cycle)
+                     / self.duty_cycle)
+        interval = 1.0 / self.burst_fps
+        while self.sim.now < deadline:
+            burst_end = min(deadline, self.sim.now + self.burst_length_s)
+            while self.sim.now < burst_end:
+                self._send_frame(frame_number)
+                frame_number += 1
+                yield self.sim.timeout(interval)
+            if self.sim.now >= deadline:
+                break
+            yield self.sim.timeout(min(silence_s,
+                                       deadline - self.sim.now))
+        self._running = False
+
+
+def arrival_cv(stats) -> float:
+    """Coefficient of variation of a client's inter-send gaps.
+
+    CV ≈ 0 for the periodic replay client, ≈ 1 for Poisson, > 1 for
+    bursty arrivals — the standard burstiness fingerprint.
+    """
+    times = sorted(stats.sent.values())
+    gaps = np.diff(times)
+    if len(gaps) < 2 or gaps.mean() == 0:
+        return 0.0
+    return float(gaps.std() / gaps.mean())

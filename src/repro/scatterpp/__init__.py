@@ -1,0 +1,37 @@
+"""scAtteR++: the redesigned pipeline (§5).
+
+Two changes turn scAtteR into scAtteR++:
+
+* **Stateless sift** — the frame's state (SIFT features) travels
+  *inside* the frame instead of staying in sift's memory, removing the
+  sift↔matching dependency loop at the cost of larger frames
+  (≈180 KB → ≈480 KB).
+* **Queue sidecars** — each service gets an ingress sidecar that
+  queues and filters requests (FIFO, dropping frames older than a
+  100 ms staleness threshold — the XR latency budget) and hands work
+  to the service over gRPC, one request at a time.  The sidecar also
+  collects queueing/processing analytics (Appendix A.2), the hooks an
+  application-aware orchestrator would need.
+"""
+
+from repro.scatterpp.analytics import SidecarAnalytics
+from repro.scatterpp.services import (
+    StatelessMatchingService,
+    StatelessSiftService,
+)
+from repro.scatterpp.sidecar import Sidecar, SidecarStats, sidecar_wrap
+from repro.scatterpp.pipeline import (
+    DEFAULT_THRESHOLD_S,
+    scatterpp_pipeline_kwargs,
+)
+
+__all__ = [
+    "DEFAULT_THRESHOLD_S",
+    "Sidecar",
+    "SidecarAnalytics",
+    "SidecarStats",
+    "StatelessMatchingService",
+    "StatelessSiftService",
+    "scatterpp_pipeline_kwargs",
+    "sidecar_wrap",
+]

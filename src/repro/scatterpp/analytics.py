@@ -1,0 +1,117 @@
+"""Sidecar analytics (§5, Appendix A.2, Figures 8 and 12).
+
+The sidecar collects per-service QoS telemetry the orchestrator cannot
+see from hardware counters: ingress frame rate, queue depth, and the
+threshold drop ratio.  :class:`SidecarAnalytics` samples every wrapped
+service on an interval and exposes the per-service time series that
+Figures 8/12 correlate with client load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.dsp.operator import StreamService
+from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class AnalyticsRow:
+    """One sampling instant for one service instance."""
+
+    timestamp_s: float
+    service: str
+    instance: str
+    ingress_fps: float
+    dispatched_fps: float
+    drop_ratio: float
+    queue_depth: int
+
+
+class SidecarAnalytics:
+    """Periodic sampler over sidecar-fronted services."""
+
+    def __init__(self, sim: Simulator, interval_s: float = 1.0):
+        if interval_s <= 0:
+            raise ValueError(
+                f"interval_s must be positive, got {interval_s}")
+        self.sim = sim
+        self.interval_s = interval_s
+        self.rows: List[AnalyticsRow] = []
+        self._services: List[StreamService] = []
+        #: cumulative (dropped_stale, dispatched) at the last sample,
+        #: keyed by instance, to compute per-window drop ratios.
+        self._last_counts: Dict[str, tuple] = {}
+        self._running = False
+
+    def watch(self, service: StreamService) -> None:
+        if not hasattr(service, "sidecar"):
+            raise ValueError(
+                f"{service.name} has no sidecar to sample")
+        if service not in self._services:
+            self._services.append(service)
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.spawn(self._sampler(), name="sidecar-analytics")
+
+    def _sampler(self):
+        while True:
+            yield self.sim.timeout(self.interval_s)
+            self.sample_now()
+
+    def sample_now(self) -> None:
+        for service in self._services:
+            sidecar = service.sidecar  # type: ignore[attr-defined]
+            instance = str(service.address)
+            stale = sidecar.stats.dropped_stale
+            dispatched = sidecar.stats.dispatched
+            last_stale, last_dispatched = self._last_counts.get(
+                instance, (0, 0))
+            window_stale = stale - last_stale
+            window_dispatched = dispatched - last_dispatched
+            exits = window_stale + window_dispatched
+            self._last_counts[instance] = (stale, dispatched)
+            self.rows.append(AnalyticsRow(
+                timestamp_s=self.sim.now,
+                service=service.name,
+                instance=instance,
+                ingress_fps=service.stats.ingress_fps(
+                    self.interval_s, self.sim.now),
+                dispatched_fps=window_dispatched / self.interval_s,
+                drop_ratio=(window_stale / exits) if exits else 0.0,
+                queue_depth=sidecar.depth,
+            ))
+
+    # ------------------------------------------------------------------
+    # Series extraction for figure reproduction
+    # ------------------------------------------------------------------
+    def series(self, service: str, metric: str) -> List[tuple]:
+        """(timestamp, value) series for a service, replicas summed
+        (fps metrics) or averaged (ratios/depths)."""
+        grouped: Dict[float, List[AnalyticsRow]] = {}
+        for row in self.rows:
+            if row.service == service:
+                grouped.setdefault(row.timestamp_s, []).append(row)
+        result = []
+        for timestamp in sorted(grouped):
+            rows = grouped[timestamp]
+            values = [getattr(row, metric) for row in rows]
+            if metric in ("ingress_fps", "dispatched_fps"):
+                value = sum(values)
+            else:
+                value = sum(values) / len(values)
+            result.append((timestamp, value))
+        return result
+
+    def mean(self, service: str, metric: str) -> float:
+        series = self.series(service, metric)
+        if not series:
+            return 0.0
+        return sum(value for __, value in series) / len(series)
+
+    def services(self) -> List[str]:
+        return sorted({row.service for row in self.rows})

@@ -1,0 +1,230 @@
+"""The queue sidecar (§5, Figure 5).
+
+Attached to every service's ingress, the sidecar:
+
+* accepts every incoming request (no more busy-drops at the UDP
+  socket),
+* queues requests FIFO and **filters** them against a staleness
+  threshold — a frame older than the 100 ms XR latency budget is
+  dropped from the queue instead of wasting service time,
+* hands surviving requests to the attached service **one at a time
+  over gRPC** (the service keeps the one-frame-at-a-time contract),
+* collects analytics — queueing time, processing time, ingress rate
+  and the threshold drop ratio — attached to the data's state and
+  exported to :class:`~repro.scatterpp.analytics.SidecarAnalytics`.
+
+:func:`sidecar_wrap` turns any :class:`~repro.dsp.operator.
+StreamService` subclass into its sidecar-fronted variant, so the same
+stage logic runs in both scAtteR and scAtteR++.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Type
+
+from repro.dsp.operator import StreamService
+from repro.dsp.record import FrameRecord
+from repro.net.addresses import Address
+from repro.net.datagram import Datagram
+from repro.net.rpc import RpcChannel, RpcServer, RpcTimeoutError
+from repro.sim.resources import Store
+
+#: gRPC serialization/dispatch overhead per hand-off (loopback call).
+RPC_OVERHEAD_S = 0.0004
+
+#: Offset from the service's UDP port to its co-located gRPC port.
+RPC_PORT_OFFSET = 10000
+
+
+@dataclass
+class SidecarStats:
+    """Cumulative sidecar counters plus sampling helpers."""
+
+    enqueued: int = 0
+    dropped_stale: int = 0
+    dropped_overflow: int = 0
+    dispatched: int = 0
+    queue_wait_samples_s: List[float] = field(default_factory=list)
+
+    def drop_ratio(self) -> float:
+        """Fraction of queue exits that were threshold drops."""
+        exits = self.dropped_stale + self.dispatched
+        return self.dropped_stale / exits if exits else 0.0
+
+
+#: Queue disciplines the sidecar supports.
+#:
+#: * ``fifo`` — the paper's design: oldest first, stale ones dropped
+#:   at dispatch.
+#: * ``lifo-fresh`` — newest first: under overload the service always
+#:   works on the freshest frame while older ones age out in the
+#:   queue.  For a real-time stream this trades fairness for
+#:   recency — frames that *are* served arrive with far less queueing
+#:   delay.
+QUEUE_DISCIPLINES = ("fifo", "lifo-fresh")
+
+
+class Sidecar:
+    """Queue + filter + gRPC dispatcher for one service instance."""
+
+    def __init__(self, service: "StreamService", *,
+                 threshold_s: float = 0.100,
+                 queue_capacity: int = 256,
+                 discipline: str = "fifo"):
+        if threshold_s <= 0:
+            raise ValueError(
+                f"threshold_s must be positive, got {threshold_s}")
+        if discipline not in QUEUE_DISCIPLINES:
+            raise ValueError(
+                f"discipline must be one of {QUEUE_DISCIPLINES}, "
+                f"got {discipline!r}")
+        self.service = service
+        self.sim = service.sim
+        self.threshold_s = threshold_s
+        self.discipline = discipline
+        self.queue_capacity = queue_capacity
+        #: Wake-up tokens; the entries list holds the actual queue so
+        #: the discipline can choose which entry a token redeems.
+        self.queue: Store = Store(self.sim)
+        self._entries: List[Tuple[FrameRecord, float]] = []
+        self.stats = SidecarStats()
+        self._channel = RpcChannel(service.network,
+                                   service.address.node)
+        self._rpc_address = Address(
+            service.address.node,
+            service.address.port + RPC_PORT_OFFSET)
+        self._server: Optional[RpcServer] = None
+
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Bind the service's gRPC endpoint and start dispatching."""
+        self._server = RpcServer(self.service.network, self._rpc_address,
+                                 self._serve)
+        self.sim.spawn(self._dispatch_loop(),
+                       name=f"sidecar-{self.service.name}")
+
+    def detach(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+
+    def enqueue(self, record: FrameRecord) -> None:
+        """Admit a request into the queue (never busy-drops)."""
+        if len(self._entries) >= self.queue_capacity:
+            self.stats.dropped_overflow += 1
+            return
+        self._entries.append((record, self.sim.now))
+        self.queue.put_nowait(True)  # wake the dispatcher
+        self.stats.enqueued += 1
+        # Queued frames occupy service memory until dispatched.
+        self.service.container.allocate_state(record.size_bytes)
+
+    @property
+    def depth(self) -> int:
+        return len(self._entries)
+
+    def _take(self) -> Tuple[FrameRecord, float]:
+        """Select the next entry per the queue discipline."""
+        if self.discipline == "lifo-fresh":
+            return self._entries.pop()
+        return self._entries.pop(0)
+
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self):
+        while True:
+            yield self.queue.get()
+            record, enqueued_at = self._take()
+            self.service.container.free_state(record.size_bytes)
+            wait = self.sim.now - enqueued_at
+            if wait > self.threshold_s:
+                # The request spent longer queued than the threshold
+                # (the 100 ms XR budget): drop it instead of wasting
+                # service time on a frame the client no longer wants.
+                self.stats.dropped_stale += 1
+                continue
+            self.stats.queue_wait_samples_s.append(wait)
+            tracer = self.service.tracer
+            if tracer is not None:
+                tracer.record_span(
+                    record.key, record.created_s,
+                    name=self.service.name, kind="queue",
+                    instance=str(self.service.address),
+                    start_s=enqueued_at, end_s=self.sim.now)
+            try:
+                yield self._channel.call(self._rpc_address, record,
+                                         size_bytes=record.size_bytes)
+            except RpcTimeoutError:
+                continue  # loopback loss is theoretical, but be safe
+            self.stats.dispatched += 1
+            # Service latency, as the sidecar reports it, spans queue
+            # entry to processing completion.
+            self.service.stats.latency_samples_s.append(
+                self.sim.now - enqueued_at)
+
+    def _serve(self, record: FrameRecord):
+        """gRPC handler: run the wrapped service's stage logic."""
+        yield self.sim.timeout(RPC_OVERHEAD_S)
+        start = self.sim.now
+        self.service._busy = True
+        self.service._current_record = record
+        try:
+            yield from self.service.process(record)
+            self.service.stats.processed += 1
+        finally:
+            self.service._busy = False
+            self.service._current_record = None
+            tracer = self.service.tracer
+            if tracer is not None:
+                tracer.record_span(
+                    record.key, record.created_s,
+                    name=self.service.name, kind="service",
+                    instance=str(self.service.address),
+                    start_s=start, end_s=self.sim.now)
+        return True
+
+
+def sidecar_wrap(base_class: Type[StreamService],
+                 *, threshold_s: float = 0.100,
+                 queue_capacity: int = 256,
+                 discipline: str = "fifo") -> Type[StreamService]:
+    """Build a sidecar-fronted variant of ``base_class``.
+
+    The generated class replaces busy-drop ingress with sidecar
+    queueing while reusing the stage's ``process`` logic unchanged.
+    """
+
+    class SidecarService(base_class):  # type: ignore[misc, valid-type]
+
+        def __init__(self, **kwargs):
+            super().__init__(**kwargs)
+            self.sidecar = Sidecar(self, threshold_s=threshold_s,
+                                   queue_capacity=queue_capacity,
+                                   discipline=discipline)
+
+        def start(self) -> None:
+            super().start()
+            self.sidecar.attach()
+
+        def stop(self, failed: bool = False) -> None:
+            self.sidecar.detach()
+            super().stop(failed=failed)
+
+        def _on_delivery(self, datagram: Datagram) -> None:
+            record = datagram.payload
+            if not isinstance(record, FrameRecord):
+                return
+            if self.is_control(record):
+                self.on_control(record)
+                return
+            self.stats.received += 1
+            self.stats.arrival_times_s.append(self.sim.now)
+            self.sidecar.enqueue(record)
+
+        def _work(self, record):  # pragma: no cover - never used
+            raise RuntimeError(
+                "sidecar services dispatch through the sidecar")
+
+    SidecarService.__name__ = f"Sidecar{base_class.__name__}"
+    SidecarService.__qualname__ = SidecarService.__name__
+    return SidecarService

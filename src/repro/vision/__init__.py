@@ -1,0 +1,71 @@
+"""Computer-vision substrate — real implementations, no stubs.
+
+This package implements the actual algorithms of the scAtteR pipeline
+(§3.1), runnable on real (synthetic) frames:
+
+* :mod:`~repro.vision.image` — grayscale, bilinear resize, gradients
+  (what ``primary`` does).
+* :mod:`~repro.vision.gaussian` / :mod:`~repro.vision.sift` — scale
+  space, difference-of-Gaussians keypoints, oriented 128-d descriptors
+  [Lowe 2004] (what ``sift`` does).
+* :mod:`~repro.vision.pca` / :mod:`~repro.vision.fisher` — PCA
+  compression and GMM Fisher-vector encoding [Perronnin et al. 2010]
+  (what ``encoding`` does).
+* :mod:`~repro.vision.lsh` — random-hyperplane locality-sensitive
+  hashing for nearest-neighbour search (what ``lsh`` does).
+* :mod:`~repro.vision.matching` / :mod:`~repro.vision.pose` — ratio-test
+  feature matching and RANSAC homography pose (what ``matching`` does).
+* :mod:`~repro.vision.dataset` / :mod:`~repro.vision.video` — the
+  synthetic "workplace" reference objects and the 10 s / 30 FPS replay
+  video standing in for the paper's pre-recorded smartphone capture.
+
+The simulated services use calibrated service times (no GPUs here), but
+every algorithm is genuinely implemented and exercised end-to-end by
+``examples/local_pipeline.py`` and the test suite.
+"""
+
+from repro.vision.camera import (
+    CameraIntrinsics,
+    PlanarPose,
+    decompose_homography,
+)
+from repro.vision.dataset import ReferenceObject, WorkplaceDataset
+from repro.vision.fast_features import BriefDescriptor, detect_fast
+from repro.vision.fisher import FisherEncoder, GaussianMixture
+from repro.vision.image import (
+    bilinear_resize,
+    image_gradients,
+    to_grayscale,
+)
+from repro.vision.lsh import LshIndex
+from repro.vision.matching import match_descriptors
+from repro.vision.pca import Pca
+from repro.vision.pose import estimate_homography_ransac, project_corners
+from repro.vision.sift import SiftExtractor, SiftKeypoint
+from repro.vision.tracker import ObjectTracker, TrackedObject
+from repro.vision.video import SyntheticVideo
+
+__all__ = [
+    "BriefDescriptor",
+    "CameraIntrinsics",
+    "FisherEncoder",
+    "GaussianMixture",
+    "LshIndex",
+    "ObjectTracker",
+    "Pca",
+    "PlanarPose",
+    "ReferenceObject",
+    "SiftExtractor",
+    "SiftKeypoint",
+    "SyntheticVideo",
+    "TrackedObject",
+    "WorkplaceDataset",
+    "bilinear_resize",
+    "decompose_homography",
+    "detect_fast",
+    "estimate_homography_ransac",
+    "image_gradients",
+    "match_descriptors",
+    "project_corners",
+    "to_grayscale",
+]

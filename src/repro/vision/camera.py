@@ -1,0 +1,139 @@
+"""Camera geometry: homography → metric pose.
+
+AR needs more than a bounding box: anchoring virtual content requires
+the camera's pose relative to the recognized planar object.  Given the
+homography ``H`` estimated by :mod:`repro.vision.pose` and the camera
+intrinsics ``K``, the planar decomposition [Ma, Soatto et al.; Zhang's
+calibration construction] recovers rotation ``R`` and translation
+``t`` up to the plane's scale:
+
+``K^-1 H = [r1 r2 t]`` with ``r3 = r1 × r2``, followed by
+orthonormalization of ``[r1 r2 r3]`` via SVD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CameraIntrinsics:
+    """A pinhole camera: focal lengths and principal point (pixels)."""
+
+    fx: float
+    fy: float
+    cx: float
+    cy: float
+
+    def __post_init__(self) -> None:
+        if self.fx <= 0 or self.fy <= 0:
+            raise ValueError("focal lengths must be positive")
+
+    @property
+    def matrix(self) -> np.ndarray:
+        return np.array([
+            [self.fx, 0.0, self.cx],
+            [0.0, self.fy, self.cy],
+            [0.0, 0.0, 1.0],
+        ])
+
+    @classmethod
+    def for_image(cls, size: Tuple[int, int],
+                  fov_degrees: float = 60.0) -> "CameraIntrinsics":
+        """Intrinsics for an image of ``(height, width)`` with the
+        given horizontal field of view."""
+        height, width = size
+        if not 0.0 < fov_degrees < 180.0:
+            raise ValueError(
+                f"fov must be in (0, 180), got {fov_degrees}")
+        focal = (width / 2.0) / np.tan(np.radians(fov_degrees) / 2.0)
+        return cls(fx=focal, fy=focal, cx=width / 2.0,
+                   cy=height / 2.0)
+
+
+@dataclass(frozen=True)
+class PlanarPose:
+    """Camera pose relative to a planar object."""
+
+    rotation: np.ndarray       # (3, 3) orthonormal
+    translation: np.ndarray    # (3,) in object-plane units
+
+    @property
+    def distance(self) -> float:
+        """Distance from camera centre to the plane origin."""
+        return float(np.linalg.norm(self.translation))
+
+    @property
+    def yaw_pitch_roll_degrees(self) -> Tuple[float, float, float]:
+        """ZYX Euler angles of the rotation, in degrees."""
+        r = self.rotation
+        pitch = float(np.degrees(np.arcsin(np.clip(-r[2, 0], -1, 1))))
+        yaw = float(np.degrees(np.arctan2(r[1, 0], r[0, 0])))
+        roll = float(np.degrees(np.arctan2(r[2, 1], r[2, 2])))
+        return yaw, pitch, roll
+
+
+def decompose_homography(homography: np.ndarray,
+                         intrinsics: CameraIntrinsics) -> PlanarPose:
+    """Recover the planar pose from a homography.
+
+    The object plane is assumed at z=0 with its own coordinate units;
+    the translation comes back in those units.  The camera is required
+    to be in front of the plane (positive z) — the decomposition's
+    sign ambiguity is resolved that way.
+    """
+    homography = np.asarray(homography, dtype=np.float64)
+    if homography.shape != (3, 3):
+        raise ValueError(f"expected a 3x3 homography, got "
+                         f"{homography.shape}")
+    k_inverse = np.linalg.inv(intrinsics.matrix)
+    candidate = k_inverse @ homography
+    r1 = candidate[:, 0]
+    r2 = candidate[:, 1]
+    norm = (np.linalg.norm(r1) + np.linalg.norm(r2)) / 2.0
+    if norm < 1e-12:
+        raise ValueError("degenerate homography (zero columns)")
+    candidate = candidate / norm
+    r1, r2, t = candidate[:, 0], candidate[:, 1], candidate[:, 2]
+    if t[2] < 0:  # camera must look at the front of the plane
+        r1, r2, t = -r1, -r2, -t
+    r3 = np.cross(r1, r2)
+    rough = np.column_stack([r1, r2, r3])
+    # Nearest orthonormal matrix (Procrustes via SVD).
+    u, __, vt = np.linalg.svd(rough)
+    rotation = u @ vt
+    if np.linalg.det(rotation) < 0:
+        u[:, -1] = -u[:, -1]
+        rotation = u @ vt
+    return PlanarPose(rotation=rotation, translation=t)
+
+
+def homography_from_pose(rotation: np.ndarray, translation: np.ndarray,
+                         intrinsics: CameraIntrinsics) -> np.ndarray:
+    """Forward model: the homography a planar pose induces (z=0
+    plane), useful for round-trip testing."""
+    rotation = np.asarray(rotation, dtype=np.float64)
+    translation = np.asarray(translation, dtype=np.float64)
+    if rotation.shape != (3, 3) or translation.shape != (3,):
+        raise ValueError("expected (3,3) rotation and (3,) translation")
+    rt = np.column_stack([rotation[:, 0], rotation[:, 1], translation])
+    homography = intrinsics.matrix @ rt
+    if abs(homography[2, 2]) < 1e-12:
+        raise ValueError("pose induces a degenerate homography")
+    return homography / homography[2, 2]
+
+
+def rotation_about(axis: str, degrees: float) -> np.ndarray:
+    """Elementary rotation matrix (for tests and examples)."""
+    theta = np.radians(degrees)
+    c, s = np.cos(theta), np.sin(theta)
+    if axis == "x":
+        return np.array([[1, 0, 0], [0, c, -s], [0, s, c]])
+    if axis == "y":
+        return np.array([[c, 0, s], [0, 1, 0], [-s, 0, c]])
+    if axis == "z":
+        return np.array([[c, -s, 0], [s, c, 0], [0, 0, 1]])
+    raise ValueError(f"axis must be x, y or z, got {axis!r}")

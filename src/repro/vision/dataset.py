@@ -1,0 +1,249 @@
+"""Synthetic "workplace" reference objects and scene rendering.
+
+The paper's replay video shows a workplace with a monitor, keyboard and
+table (§3.2).  This module generates feature-rich synthetic stand-ins:
+each object is a textured grayscale patch with enough structure for
+SIFT to latch onto, and :meth:`WorkplaceDataset.render_scene` composites
+the objects into a frame under per-object affine placements, returning
+ground truth for accuracy checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.vision.image import sample_bilinear
+from repro.vision.sift import SiftExtractor, SiftKeypoint
+
+
+def _monitor_patch(rng: np.random.Generator,
+                   size: Tuple[int, int]) -> np.ndarray:
+    """A dark screen with bright window rectangles and a taskbar."""
+    height, width = size
+    patch = np.full(size, 0.15)
+    patch += rng.normal(0.0, 0.02, size)
+    for __ in range(4):
+        y = rng.integers(2, max(3, height - 12))
+        x = rng.integers(2, max(3, width - 16))
+        h = rng.integers(6, max(7, height // 3))
+        w = rng.integers(8, max(9, width // 3))
+        patch[y:y + h, x:x + w] = 0.75 + rng.normal(0.0, 0.05)
+        # window title bar
+        patch[y:y + 2, x:x + w] = 0.45
+    patch[-3:, :] = 0.35  # taskbar
+    patch[:2, :] = 0.05   # bezel
+    patch[:, :2] = 0.05
+    patch[:, -2:] = 0.05
+    return np.clip(patch, 0.0, 1.0)
+
+
+def _keyboard_patch(rng: np.random.Generator,
+                    size: Tuple[int, int]) -> np.ndarray:
+    """A key grid: bright keycaps on a dark deck."""
+    height, width = size
+    patch = np.full(size, 0.25)
+    key = 6
+    for row in range(1, height - key, key + 2):
+        for col in range(1, width - key, key + 2):
+            brightness = 0.55 + float(rng.uniform(0.0, 0.4))
+            patch[row:row + key, col:col + key] = brightness
+            # key legend: a random glyph-like dot pattern per key
+            legend = rng.random((2, 2)) < 0.5
+            patch[row + 2:row + 4, col + 2:col + 4] = np.where(
+                legend, 0.1, brightness)
+    patch += rng.normal(0.0, 0.015, size)
+    return np.clip(patch, 0.0, 1.0)
+
+
+def _table_patch(rng: np.random.Generator,
+                 size: Tuple[int, int]) -> np.ndarray:
+    """Wood grain with distinctive knots, stains and scratches.
+
+    Pure grain is self-similar and defeats the ratio test, so the
+    table carries irregular marks — as a real worn desk would.
+    """
+    height, width = size
+    ys = np.arange(height)[:, None]
+    xs = np.arange(width)[None, :]
+    grain = 0.5 + 0.10 * np.sin(xs / 3.5 + 2.0 * np.sin(ys / 9.0))
+    patch = grain + rng.normal(0.0, 0.03, size)
+    yy, xx = np.ogrid[:height, :width]
+    for __ in range(10):
+        cy = rng.integers(4, height - 4)
+        cx = rng.integers(4, width - 4)
+        radius = int(rng.integers(2, 5))
+        knot = (yy - cy) ** 2 + (xx - cx) ** 2 <= radius ** 2
+        patch[knot] = float(rng.uniform(0.1, 0.35))
+        ring = ((yy - cy) ** 2 + (xx - cx) ** 2
+                <= (radius + 1) ** 2) & ~knot
+        patch[ring] = float(rng.uniform(0.6, 0.8))
+    for __ in range(6):
+        # A bright scratch: a short random line segment.
+        y0 = float(rng.uniform(2, height - 2))
+        x0 = float(rng.uniform(2, width - 2))
+        angle = float(rng.uniform(0, np.pi))
+        length = float(rng.uniform(6, 15))
+        steps = np.linspace(0.0, length, int(length * 2))
+        sy = np.clip(y0 + steps * np.sin(angle), 0, height - 1).astype(int)
+        sx = np.clip(x0 + steps * np.cos(angle), 0, width - 1).astype(int)
+        patch[sy, sx] = float(rng.uniform(0.75, 0.95))
+    return np.clip(patch, 0.0, 1.0)
+
+
+_GENERATORS = {
+    "monitor": _monitor_patch,
+    "keyboard": _keyboard_patch,
+    "table": _table_patch,
+}
+
+
+@dataclass
+class ReferenceObject:
+    """A training-set object: its patch plus cached SIFT features."""
+
+    name: str
+    image: np.ndarray
+    keypoints: List[SiftKeypoint] = field(default_factory=list)
+    descriptors: Optional[np.ndarray] = None
+
+    @property
+    def size(self) -> Tuple[int, int]:
+        return self.image.shape  # type: ignore[return-value]
+
+    def extract_features(self, extractor: SiftExtractor) -> None:
+        """Populate keypoints/descriptors with the given extractor."""
+        self.keypoints, self.descriptors = (
+            extractor.detect_and_describe(self.image))
+
+    @property
+    def keypoint_coordinates(self) -> np.ndarray:
+        """(N, 2) array of (x, y) keypoint locations."""
+        return np.array([[kp.x, kp.y] for kp in self.keypoints])
+
+
+@dataclass(frozen=True)
+class ScenePlacement:
+    """Ground truth: where an object landed in a rendered scene."""
+
+    name: str
+    #: 2x3 affine [A | t] mapping object (x, y, 1) -> scene (x, y).
+    affine: np.ndarray
+    #: (4, 2) scene coordinates of the object corners.
+    corners: np.ndarray
+
+
+class WorkplaceDataset:
+    """Reference objects + scene renderer for the synthetic workplace."""
+
+    DEFAULT_SIZES = {
+        "monitor": (72, 96),
+        "keyboard": (42, 84),
+        "table": (60, 90),
+    }
+
+    def __init__(self, *, seed: int = 0,
+                 sizes: Optional[Dict[str, Tuple[int, int]]] = None):
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self.objects: Dict[str, ReferenceObject] = {}
+        for name, size in (sizes or self.DEFAULT_SIZES).items():
+            generator = _GENERATORS.get(name)
+            if generator is None:
+                raise ValueError(f"unknown object kind {name!r}; "
+                                 f"choose from {sorted(_GENERATORS)}")
+            self.objects[name] = ReferenceObject(
+                name=name, image=generator(rng, size))
+
+    def names(self) -> List[str]:
+        return sorted(self.objects)
+
+    def extract_all_features(self, extractor: SiftExtractor) -> None:
+        for reference in self.objects.values():
+            reference.extract_features(extractor)
+
+    def render_scene(self, *, size: Tuple[int, int] = (144, 192),
+                     placements: Optional[Dict[str, np.ndarray]] = None,
+                     camera_offset: Tuple[float, float] = (0.0, 0.0),
+                     zoom: float = 1.0,
+                     noise: float = 0.01,
+                     seed: int = 0) -> Tuple[np.ndarray, List[ScenePlacement]]:
+        """Composite every object into a background frame.
+
+        ``placements`` optionally overrides the per-object 2x3 affine;
+        by default objects sit at fixed workplace positions, shifted by
+        ``camera_offset`` and scaled by ``zoom`` (the camera model used
+        by :class:`~repro.vision.video.SyntheticVideo`).
+        """
+        height, width = size
+        rng = np.random.default_rng(seed)
+        frame = 0.45 + rng.normal(0.0, noise, size)  # wall / background
+
+        # Workplace layout chosen so objects barely occlude each other:
+        # monitor top-centre, table bottom-left, keyboard bottom-right.
+        defaults = {
+            "table": (int(height * 0.52), int(width * 0.04)),
+            "monitor": (int(height * 0.04), int(width * 0.31)),
+            "keyboard": (int(height * 0.72), int(width * 0.52)),
+        }
+        ground_truth: List[ScenePlacement] = []
+        for name in ("table", "monitor", "keyboard"):
+            reference = self.objects.get(name)
+            if reference is None:
+                continue
+            if placements is not None and name in placements:
+                affine = np.asarray(placements[name], dtype=np.float64)
+                if affine.shape != (2, 3):
+                    raise ValueError(
+                        f"placement for {name!r} must be 2x3, "
+                        f"got {affine.shape}")
+            else:
+                top, left = defaults[name]
+                affine = np.array([
+                    [zoom, 0.0, left * zoom + camera_offset[0]],
+                    [0.0, zoom, top * zoom + camera_offset[1]],
+                ])
+            self._composite(frame, reference.image, affine)
+            obj_h, obj_w = reference.size
+            corners_obj = np.array([
+                [0.0, 0.0], [obj_w - 1.0, 0.0],
+                [obj_w - 1.0, obj_h - 1.0], [0.0, obj_h - 1.0],
+            ])
+            corners = corners_obj @ affine[:, :2].T + affine[:, 2]
+            ground_truth.append(ScenePlacement(
+                name=name, affine=affine, corners=corners))
+        return np.clip(frame, 0.0, 1.0), ground_truth
+
+    @staticmethod
+    def _composite(frame: np.ndarray, patch: np.ndarray,
+                   affine: np.ndarray) -> None:
+        """Inverse-map ``patch`` into ``frame`` under the affine."""
+        height, width = frame.shape
+        obj_h, obj_w = patch.shape
+        corners_obj = np.array([
+            [0.0, 0.0], [obj_w - 1.0, 0.0],
+            [obj_w - 1.0, obj_h - 1.0], [0.0, obj_h - 1.0],
+        ])
+        corners = corners_obj @ affine[:, :2].T + affine[:, 2]
+        x0 = max(0, int(np.floor(corners[:, 0].min())))
+        x1 = min(width - 1, int(np.ceil(corners[:, 0].max())))
+        y0 = max(0, int(np.floor(corners[:, 1].min())))
+        y1 = min(height - 1, int(np.ceil(corners[:, 1].max())))
+        if x1 < x0 or y1 < y0:
+            return  # entirely off-frame
+
+        inverse = np.linalg.inv(np.vstack([affine, [0.0, 0.0, 1.0]]))
+        ys, xs = np.mgrid[y0:y1 + 1, x0:x1 + 1]
+        coords = np.stack([xs.ravel(), ys.ravel(),
+                           np.ones(xs.size)])
+        obj_coords = inverse @ coords
+        u = obj_coords[0].reshape(ys.shape)
+        v = obj_coords[1].reshape(ys.shape)
+        mask = (u >= 0) & (u <= obj_w - 1) & (v >= 0) & (v <= obj_h - 1)
+        if not mask.any():
+            return
+        sampled = sample_bilinear(patch, v, u)
+        region = frame[y0:y1 + 1, x0:x1 + 1]
+        region[mask] = sampled[mask]

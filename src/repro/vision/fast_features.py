@@ -1,0 +1,219 @@
+"""FAST corner detection and BRIEF binary descriptors.
+
+The paper's §5 discusses *model optimization*: substituting SIFT with a
+faster feature extractor (citing an energy-efficient SIFT accelerator)
+"helps improve inference speed ... but without a horizontally scalable
+design the application will incur the same issues ... delayed to a
+higher number of clients".  This module provides the faster model:
+FAST-9 corner detection [Rosten & Drummond 2006] with BRIEF-style
+binary descriptors [Calonder et al. 2010] matched under Hamming
+distance — an order of magnitude cheaper than SIFT per frame, at the
+cost of scale/rotation robustness.
+
+`benchmarks/bench_extension_fast_model.py` uses the corresponding
+service-time calibration to show exactly the saturation-point shift
+the paper predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.vision.gaussian import gaussian_blur
+
+#: Offsets of the 16-pixel Bresenham circle of radius 3 used by FAST.
+_CIRCLE = np.array([
+    (0, 3), (1, 3), (2, 2), (3, 1), (3, 0), (3, -1), (2, -2), (1, -3),
+    (0, -3), (-1, -3), (-2, -2), (-3, -1), (-3, 0), (-3, 1), (-2, 2),
+    (-1, 3),
+])
+
+
+@dataclass(frozen=True)
+class FastKeypoint:
+    """A FAST corner with its score (for non-maximum suppression)."""
+
+    x: int
+    y: int
+    score: float
+
+
+def detect_fast(image: np.ndarray, *, threshold: float = 0.08,
+                arc_length: int = 9,
+                max_keypoints: Optional[int] = 500,
+                nms_radius: int = 3) -> List[FastKeypoint]:
+    """FAST-N corner detection with non-maximum suppression.
+
+    A pixel is a corner when ``arc_length`` *contiguous* pixels of its
+    16-pixel circle are all brighter than centre+threshold or all
+    darker than centre−threshold.  The score is the mean absolute
+    circle-centre difference, used for NMS and ranking.
+    """
+    if image.ndim != 2:
+        raise ValueError(f"expected a grayscale image, got {image.shape}")
+    if not 1 <= arc_length <= 16:
+        raise ValueError(f"arc_length must be in [1, 16], got {arc_length}")
+    height, width = image.shape
+    if height < 7 or width < 7:
+        return []
+
+    interior = image[3:height - 3, 3:width - 3]
+    # Circle pixel stack: (16, H-6, W-6).
+    circle = np.stack([
+        image[3 + dy:height - 3 + dy, 3 + dx:width - 3 + dx]
+        for dx, dy in _CIRCLE
+    ])
+    brighter = circle > interior[None, :, :] + threshold
+    darker = circle < interior[None, :, :] - threshold
+
+    def has_contiguous_arc(mask: np.ndarray) -> np.ndarray:
+        # Wrap-around contiguous run of >= arc_length among 16 flags:
+        # double the circle and slide a window (via cumulative sums).
+        doubled = np.concatenate([mask, mask[:arc_length - 1]],
+                                 axis=0).astype(np.int16)
+        cumulative = np.cumsum(doubled, axis=0)
+        zeros = np.zeros((1,) + cumulative.shape[1:], dtype=np.int16)
+        padded = np.concatenate([zeros, cumulative], axis=0)
+        window_sums = (padded[arc_length:] - padded[:-arc_length])
+        return (window_sums >= arc_length).any(axis=0)
+
+    corner_mask = has_contiguous_arc(brighter) | has_contiguous_arc(darker)
+    if not corner_mask.any():
+        return []
+
+    score = np.abs(circle - interior[None, :, :]).mean(axis=0)
+    score = np.where(corner_mask, score, 0.0)
+
+    # Non-maximum suppression over a (2r+1)^2 neighbourhood.
+    suppressed = score.copy()
+    for dy in range(-nms_radius, nms_radius + 1):
+        for dx in range(-nms_radius, nms_radius + 1):
+            if dy == 0 and dx == 0:
+                continue
+            shifted = np.zeros_like(score)
+            src_y = slice(max(0, dy), score.shape[0] + min(0, dy))
+            src_x = slice(max(0, dx), score.shape[1] + min(0, dx))
+            dst_y = slice(max(0, -dy), score.shape[0] + min(0, -dy))
+            dst_x = slice(max(0, -dx), score.shape[1] + min(0, -dx))
+            shifted[dst_y, dst_x] = score[src_y, src_x]
+            suppressed = np.where(shifted > suppressed, 0.0, suppressed)
+
+    ys, xs = np.nonzero(suppressed > 0)
+    keypoints = [FastKeypoint(x=int(x) + 3, y=int(y) + 3,
+                              score=float(suppressed[y, x]))
+                 for y, x in zip(ys, xs)]
+    keypoints.sort(key=lambda kp: -kp.score)
+    if max_keypoints is not None:
+        keypoints = keypoints[:max_keypoints]
+    return keypoints
+
+
+class BriefDescriptor:
+    """BRIEF: binary descriptors from pairwise intensity comparisons.
+
+    ``n_bits`` random point pairs are drawn once (seeded) inside a
+    ``patch_size`` window; each bit is the comparison of the smoothed
+    intensities at the pair.  Descriptors are packed into uint8 arrays
+    and matched under Hamming distance.
+    """
+
+    def __init__(self, *, n_bits: int = 256, patch_size: int = 17,
+                 blur_sigma: float = 1.2, seed: int = 0):
+        if n_bits % 8 != 0:
+            raise ValueError(f"n_bits must be a multiple of 8, got {n_bits}")
+        if patch_size % 2 == 0:
+            raise ValueError(f"patch_size must be odd, got {patch_size}")
+        self.n_bits = n_bits
+        self.patch_size = patch_size
+        self.blur_sigma = blur_sigma
+        rng = np.random.default_rng(seed)
+        half = patch_size // 2
+        # Gaussian-distributed test locations, clipped to the patch
+        # (the BRIEF-G sampling strategy).
+        self._pairs = np.clip(
+            rng.normal(0.0, patch_size / 5.0, size=(n_bits, 4)),
+            -half, half).astype(int)
+
+    @property
+    def n_bytes(self) -> int:
+        return self.n_bits // 8
+
+    def describe(self, image: np.ndarray,
+                 keypoints: List[FastKeypoint]) -> np.ndarray:
+        """Binary descriptors, shape ``(N, n_bits / 8)`` uint8.
+
+        Keypoints too close to the border for a full patch are
+        described from border-clamped samples.
+        """
+        if not keypoints:
+            return np.zeros((0, self.n_bytes), dtype=np.uint8)
+        smoothed = gaussian_blur(image, self.blur_sigma)
+        height, width = smoothed.shape
+        xs = np.array([kp.x for kp in keypoints])
+        ys = np.array([kp.y for kp in keypoints])
+
+        ax = np.clip(xs[:, None] + self._pairs[None, :, 0], 0, width - 1)
+        ay = np.clip(ys[:, None] + self._pairs[None, :, 1], 0, height - 1)
+        bx = np.clip(xs[:, None] + self._pairs[None, :, 2], 0, width - 1)
+        by = np.clip(ys[:, None] + self._pairs[None, :, 3], 0, height - 1)
+        bits = (smoothed[ay, ax] < smoothed[by, bx])  # (N, n_bits)
+        return np.packbits(bits, axis=1)
+
+
+_POPCOUNT = np.array([bin(i).count("1") for i in range(256)],
+                     dtype=np.uint8)
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise Hamming distances between packed binary descriptors.
+
+    ``a`` is ``(Na, B)`` and ``b`` is ``(Nb, B)`` uint8; the result is
+    ``(Na, Nb)`` int.
+    """
+    a = np.atleast_2d(a)
+    b = np.atleast_2d(b)
+    if a.shape[1] != b.shape[1]:
+        raise ValueError(
+            f"descriptor width mismatch: {a.shape[1]} vs {b.shape[1]}")
+    xored = np.bitwise_xor(a[:, None, :], b[None, :, :])
+    return _POPCOUNT[xored].sum(axis=2).astype(int)
+
+
+@dataclass(frozen=True)
+class BinaryMatch:
+    query_index: int
+    reference_index: int
+    distance: int
+
+
+def match_binary(query: np.ndarray, reference: np.ndarray, *,
+                 max_distance: Optional[int] = None,
+                 ratio: float = 0.9) -> List[BinaryMatch]:
+    """Nearest-neighbour Hamming matching with a ratio test."""
+    query = np.atleast_2d(query)
+    reference = np.atleast_2d(reference)
+    if query.shape[0] == 0 or reference.shape[0] == 0:
+        return []
+    if max_distance is None:
+        max_distance = query.shape[1] * 8 // 4  # a quarter of the bits
+    distances = hamming_distance(query, reference)
+    matches: List[BinaryMatch] = []
+    for query_index in range(distances.shape[0]):
+        row = distances[query_index]
+        nearest = int(np.argmin(row))
+        best = int(row[nearest])
+        if best > max_distance:
+            continue
+        if reference.shape[0] > 1:
+            row_copy = row.copy()
+            row_copy[nearest] = np.iinfo(int).max
+            second = int(np.min(row_copy))
+            if second > 0 and best >= ratio * second:
+                continue
+        matches.append(BinaryMatch(query_index=query_index,
+                                   reference_index=nearest,
+                                   distance=best))
+    return matches

@@ -1,0 +1,150 @@
+"""Diagonal-covariance GMM and Fisher-vector encoding.
+
+The ``encoding`` service compresses a frame's (PCA-reduced) descriptor
+set into one fixed-length Fisher vector [Perronnin et al., CVPR 2010]:
+the gradient of the descriptors' log-likelihood under a GMM "visual
+vocabulary" with respect to the mixture means and variances, power- and
+L2-normalized.  Output dimensionality is ``2 * K * D``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+_EPS = 1e-10
+
+
+class GaussianMixture:
+    """Diagonal GMM fitted with EM (k-means++ initialization)."""
+
+    def __init__(self, n_components: int, *, n_iter: int = 25,
+                 seed: int = 0, min_variance: float = 1e-4):
+        if n_components < 1:
+            raise ValueError(
+                f"n_components must be >= 1, got {n_components}")
+        self.n_components = n_components
+        self.n_iter = n_iter
+        self.seed = seed
+        self.min_variance = min_variance
+        self.weights_: Optional[np.ndarray] = None
+        self.means_: Optional[np.ndarray] = None
+        self.variances_: Optional[np.ndarray] = None
+
+    @property
+    def fitted(self) -> bool:
+        return self.means_ is not None
+
+    # ------------------------------------------------------------------
+    def _init_means(self, data: np.ndarray,
+                    rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding."""
+        n_samples = data.shape[0]
+        means = [data[rng.integers(n_samples)]]
+        for __ in range(1, self.n_components):
+            distances = np.min(
+                [np.sum((data - mean) ** 2, axis=1) for mean in means],
+                axis=0)
+            total = distances.sum()
+            if total <= 0:
+                means.append(data[rng.integers(n_samples)])
+                continue
+            probabilities = distances / total
+            means.append(data[rng.choice(n_samples, p=probabilities)])
+        return np.stack(means)
+
+    def _log_responsibilities(self, data: np.ndarray) -> np.ndarray:
+        """Log posterior of each component for each sample, (N, K)."""
+        precision = 1.0 / self.variances_
+        log_det = np.sum(np.log(self.variances_), axis=1)
+        n, d = data.shape
+        # (N, K): -0.5 * [ (x-mu)^2 / var + log det + D log 2pi ]
+        quad = (np.einsum("nd,kd->nk", data ** 2, precision)
+                - 2.0 * np.einsum("nd,kd->nk", data, self.means_ * precision)
+                + np.sum(self.means_ ** 2 * precision, axis=1)[None, :])
+        log_prob = -0.5 * (quad + log_det[None, :] + d * np.log(2 * np.pi))
+        log_weighted = log_prob + np.log(self.weights_ + _EPS)[None, :]
+        log_norm = np.logaddexp.reduce(log_weighted, axis=1, keepdims=True)
+        return log_weighted - log_norm
+
+    def fit(self, data: np.ndarray) -> "GaussianMixture":
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError(f"expected (N, D) data, got {data.shape}")
+        n_samples, n_features = data.shape
+        if n_samples < self.n_components:
+            raise ValueError(
+                f"need >= {self.n_components} samples, got {n_samples}")
+        rng = np.random.default_rng(self.seed)
+        self.means_ = self._init_means(data, rng)
+        self.variances_ = np.full((self.n_components, n_features),
+                                  max(data.var(axis=0).mean(),
+                                      self.min_variance))
+        self.weights_ = np.full(self.n_components, 1.0 / self.n_components)
+
+        for __ in range(self.n_iter):
+            responsibilities = np.exp(self._log_responsibilities(data))
+            counts = responsibilities.sum(axis=0) + _EPS
+            self.weights_ = counts / n_samples
+            self.means_ = (responsibilities.T @ data) / counts[:, None]
+            second_moment = (responsibilities.T @ (data ** 2)) / counts[:, None]
+            self.variances_ = np.maximum(
+                second_moment - self.means_ ** 2, self.min_variance)
+        return self
+
+    def responsibilities(self, data: np.ndarray) -> np.ndarray:
+        """Posterior component probabilities for ``(N, D)`` samples."""
+        if not self.fitted:
+            raise RuntimeError("responsibilities() before fit()")
+        data = np.asarray(data, dtype=np.float64)
+        return np.exp(self._log_responsibilities(data))
+
+
+class FisherEncoder:
+    """Encodes a set of descriptors into one Fisher vector."""
+
+    def __init__(self, gmm: GaussianMixture):
+        if not gmm.fitted:
+            raise ValueError("FisherEncoder requires a fitted GMM")
+        self.gmm = gmm
+
+    @property
+    def dimension(self) -> int:
+        return 2 * self.gmm.n_components * self.gmm.means_.shape[1]
+
+    def encode(self, descriptors: np.ndarray) -> np.ndarray:
+        """Return the normalized Fisher vector of ``(N, D)`` descriptors.
+
+        Empty input encodes to the zero vector (a frame with no
+        detected features).
+        """
+        descriptors = np.asarray(descriptors, dtype=np.float64)
+        if descriptors.size == 0:
+            return np.zeros(self.dimension)
+        if descriptors.ndim == 1:
+            descriptors = descriptors[None, :]
+        n = descriptors.shape[0]
+
+        gmm = self.gmm
+        gamma = gmm.responsibilities(descriptors)  # (N, K)
+        sigma = np.sqrt(gmm.variances_)  # (K, D)
+
+        # Normalized deviations per sample/component: (N, K, D).
+        deviation = ((descriptors[:, None, :] - gmm.means_[None, :, :])
+                     / sigma[None, :, :])
+        weighted = gamma[:, :, None] * deviation
+
+        grad_mu = weighted.sum(axis=0) / (
+            n * np.sqrt(gmm.weights_)[:, None] + _EPS)
+        grad_sigma = ((gamma[:, :, None]
+                       * (deviation ** 2 - 1.0)).sum(axis=0)
+                      / (n * np.sqrt(2.0 * gmm.weights_)[:, None] + _EPS))
+
+        vector = np.concatenate([grad_mu.ravel(), grad_sigma.ravel()])
+        # Power normalization then L2 (Perronnin's improved FV).
+        vector = np.sign(vector) * np.sqrt(np.abs(vector))
+        norm = np.linalg.norm(vector)
+        if norm > _EPS:
+            vector = vector / norm
+        return vector

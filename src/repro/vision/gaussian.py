@@ -1,0 +1,100 @@
+"""Gaussian scale space and difference-of-Gaussians pyramids.
+
+Implements the scale-space construction of Lowe's SIFT [Lowe 2004]:
+each octave holds ``intervals + 3`` progressively blurred images; the
+DoG pyramid is the difference of adjacent levels; the next octave
+starts from the level with twice the base sigma, downsampled 2×.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+from scipy import ndimage
+
+
+def gaussian_kernel_1d(sigma: float) -> np.ndarray:
+    """A normalized 1-D Gaussian kernel with radius ``ceil(3 sigma)``."""
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    radius = max(1, int(np.ceil(3.0 * sigma)))
+    xs = np.arange(-radius, radius + 1, dtype=np.float64)
+    kernel = np.exp(-(xs ** 2) / (2.0 * sigma ** 2))
+    return kernel / kernel.sum()
+
+
+def gaussian_blur(image: np.ndarray, sigma: float) -> np.ndarray:
+    """Separable Gaussian blur with edge-replication padding.
+
+    The two 1-D passes use ``scipy.ndimage.convolve1d`` for speed; the
+    kernel itself is ours (:func:`gaussian_kernel_1d`).
+    """
+    if image.ndim != 2:
+        raise ValueError(f"expected a grayscale image, got {image.shape}")
+    kernel = gaussian_kernel_1d(sigma)
+    blurred = ndimage.convolve1d(image, kernel, axis=1, mode="nearest")
+    return ndimage.convolve1d(blurred, kernel, axis=0, mode="nearest")
+
+
+def downsample(image: np.ndarray) -> np.ndarray:
+    """Drop every other row and column (Lowe's octave subsampling)."""
+    return image[::2, ::2]
+
+
+@dataclass
+class ScaleSpace:
+    """Gaussian and DoG pyramids plus their per-level sigmas."""
+
+    gaussians: List[List[np.ndarray]]
+    dogs: List[List[np.ndarray]]
+    sigmas: List[float]
+    intervals: int
+
+    @property
+    def num_octaves(self) -> int:
+        return len(self.gaussians)
+
+
+def build_scale_space(image: np.ndarray, *, intervals: int = 3,
+                      base_sigma: float = 1.6,
+                      assumed_blur: float = 0.5,
+                      min_size: int = 16) -> ScaleSpace:
+    """Construct the Gaussian/DoG pyramids for ``image``.
+
+    ``intervals`` is Lowe's *s*: the number of scales per octave at
+    which extrema are sought; each octave stores ``s + 3`` Gaussian
+    levels and ``s + 2`` DoG levels.
+    """
+    if intervals < 1:
+        raise ValueError(f"intervals must be >= 1, got {intervals}")
+    image = image.astype(np.float64, copy=False)
+
+    # Bring the input up to base_sigma from its assumed capture blur.
+    delta = np.sqrt(max(base_sigma ** 2 - assumed_blur ** 2, 0.01))
+    current = gaussian_blur(image, delta)
+
+    k = 2.0 ** (1.0 / intervals)
+    levels = intervals + 3
+    sigmas = [base_sigma * (k ** i) for i in range(levels)]
+    # Incremental blurs between adjacent levels.
+    increments = [np.sqrt(max(sigmas[i] ** 2 - sigmas[i - 1] ** 2, 1e-8))
+                  for i in range(1, levels)]
+
+    gaussians: List[List[np.ndarray]] = []
+    dogs: List[List[np.ndarray]] = []
+    while min(current.shape) >= min_size:
+        octave = [current]
+        for increment in increments:
+            octave.append(gaussian_blur(octave[-1], increment))
+        gaussians.append(octave)
+        dogs.append([octave[i + 1] - octave[i]
+                     for i in range(len(octave) - 1)])
+        # Next octave seeds from the level at 2x base sigma.
+        current = downsample(octave[intervals])
+    if not gaussians:
+        raise ValueError(
+            f"image {image.shape} smaller than min octave size {min_size}")
+    return ScaleSpace(gaussians=gaussians, dogs=dogs, sigmas=sigmas,
+                      intervals=intervals)

@@ -1,0 +1,89 @@
+"""Basic image operations used by the ``primary`` pre-processing stage.
+
+Images are ``float64`` NumPy arrays in [0, 1]; color images have shape
+``(H, W, 3)``, grayscale ``(H, W)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+#: ITU-R BT.601 luma weights.
+_LUMA = np.array([0.299, 0.587, 0.114])
+
+
+def to_grayscale(image: np.ndarray) -> np.ndarray:
+    """Convert an RGB image to grayscale (no-op for 2-D input)."""
+    if image.ndim == 2:
+        return image.astype(np.float64, copy=False)
+    if image.ndim == 3 and image.shape[2] == 3:
+        return image.astype(np.float64) @ _LUMA
+    raise ValueError(f"expected (H, W) or (H, W, 3), got {image.shape}")
+
+
+def bilinear_resize(image: np.ndarray,
+                    size: Tuple[int, int]) -> np.ndarray:
+    """Resize a grayscale image to ``(height, width)`` bilinearly."""
+    if image.ndim != 2:
+        raise ValueError(f"expected a grayscale image, got {image.shape}")
+    height, width = size
+    if height < 1 or width < 1:
+        raise ValueError(f"invalid target size {size}")
+    src_h, src_w = image.shape
+    if (src_h, src_w) == (height, width):
+        return image.copy()
+
+    # Map target pixel centres into source coordinates.
+    ys = (np.arange(height) + 0.5) * (src_h / height) - 0.5
+    xs = (np.arange(width) + 0.5) * (src_w / width) - 0.5
+    ys = np.clip(ys, 0.0, src_h - 1.0)
+    xs = np.clip(xs, 0.0, src_w - 1.0)
+
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, src_h - 1)
+    x1 = np.minimum(x0 + 1, src_w - 1)
+    wy = (ys - y0)[:, None]
+    wx = (xs - x0)[None, :]
+
+    top = image[np.ix_(y0, x0)] * (1 - wx) + image[np.ix_(y0, x1)] * wx
+    bottom = image[np.ix_(y1, x0)] * (1 - wx) + image[np.ix_(y1, x1)] * wx
+    return top * (1 - wy) + bottom * wy
+
+
+def image_gradients(image: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Return (magnitude, orientation) of central-difference gradients.
+
+    Orientation is in radians in (-pi, pi].
+    """
+    if image.ndim != 2:
+        raise ValueError(f"expected a grayscale image, got {image.shape}")
+    dy = np.zeros_like(image)
+    dx = np.zeros_like(image)
+    dy[1:-1, :] = (image[2:, :] - image[:-2, :]) / 2.0
+    dx[:, 1:-1] = (image[:, 2:] - image[:, :-2]) / 2.0
+    magnitude = np.hypot(dx, dy)
+    orientation = np.arctan2(dy, dx)
+    return magnitude, orientation
+
+
+def sample_bilinear(image: np.ndarray, ys: np.ndarray,
+                    xs: np.ndarray) -> np.ndarray:
+    """Sample ``image`` at float coordinates with bilinear interpolation.
+
+    Out-of-bounds coordinates clamp to the border.
+    """
+    src_h, src_w = image.shape
+    ys = np.clip(ys, 0.0, src_h - 1.0)
+    xs = np.clip(xs, 0.0, src_w - 1.0)
+    y0 = np.floor(ys).astype(int)
+    x0 = np.floor(xs).astype(int)
+    y1 = np.minimum(y0 + 1, src_h - 1)
+    x1 = np.minimum(x0 + 1, src_w - 1)
+    wy = ys - y0
+    wx = xs - x0
+    top = image[y0, x0] * (1 - wx) + image[y0, x1] * wx
+    bottom = image[y1, x0] * (1 - wx) + image[y1, x1] * wx
+    return top * (1 - wy) + bottom * wy

@@ -1,0 +1,114 @@
+"""Random-hyperplane locality-sensitive hashing.
+
+The ``lsh`` service maps a frame's Fisher vector into multi-table LSH
+buckets to shortlist nearest-neighbour reference objects for
+``matching`` (§3.1).  Sign-of-projection hashing approximates cosine
+similarity [Charikar 2002]: vectors hash to the sign pattern of dot
+products with random hyperplanes; near vectors collide in at least one
+of the ``n_tables`` tables with high probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LshMatch:
+    """A shortlist entry: reference key plus cosine similarity."""
+
+    key: Hashable
+    similarity: float
+
+
+class LshIndex:
+    """Multi-table sign-random-projection index."""
+
+    def __init__(self, dimension: int, *, n_tables: int = 4,
+                 n_bits: int = 12, seed: int = 0):
+        if dimension < 1:
+            raise ValueError(f"dimension must be >= 1, got {dimension}")
+        if n_tables < 1 or n_bits < 1:
+            raise ValueError("n_tables and n_bits must be >= 1")
+        self.dimension = dimension
+        self.n_tables = n_tables
+        self.n_bits = n_bits
+        rng = np.random.default_rng(seed)
+        #: (tables, bits, dimension) hyperplane normals.
+        self._planes = rng.standard_normal((n_tables, n_bits, dimension))
+        self._tables: List[Dict[int, List[Hashable]]] = [
+            {} for __ in range(n_tables)]
+        self._vectors: Dict[Hashable, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    def _signatures(self, vector: np.ndarray) -> np.ndarray:
+        """Integer bucket signature per table, shape ``(n_tables,)``."""
+        projections = self._planes @ vector  # (tables, bits)
+        bits = (projections > 0).astype(np.uint64)
+        weights = (1 << np.arange(self.n_bits, dtype=np.uint64))
+        return (bits * weights).sum(axis=1)
+
+    def insert(self, key: Hashable, vector: np.ndarray) -> None:
+        """Index ``vector`` under ``key`` (re-inserting replaces)."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self.dimension,):
+            raise ValueError(
+                f"expected vector of shape ({self.dimension},), "
+                f"got {vector.shape}")
+        if key in self._vectors:
+            self.remove(key)
+        self._vectors[key] = vector
+        for table, signature in zip(self._tables,
+                                    self._signatures(vector)):
+            table.setdefault(int(signature), []).append(key)
+
+    def remove(self, key: Hashable) -> None:
+        vector = self._vectors.pop(key, None)
+        if vector is None:
+            return
+        for table, signature in zip(self._tables,
+                                    self._signatures(vector)):
+            bucket = table.get(int(signature), [])
+            if key in bucket:
+                bucket.remove(key)
+
+    def candidates(self, vector: np.ndarray) -> List[Hashable]:
+        """Union of bucket collisions across tables (unranked)."""
+        vector = np.asarray(vector, dtype=np.float64)
+        seen: List[Hashable] = []
+        for table, signature in zip(self._tables,
+                                    self._signatures(vector)):
+            for key in table.get(int(signature), []):
+                if key not in seen:
+                    seen.append(key)
+        return seen
+
+    def query(self, vector: np.ndarray, *, k: int = 1,
+              min_similarity: float = -1.0) -> List[LshMatch]:
+        """Top-``k`` shortlist ranked by cosine similarity.
+
+        Falls back to exhaustive ranking when no bucket collides (rare
+        for in-distribution queries, but a recognizer should not return
+        nothing just because hashing was unlucky).
+        """
+        vector = np.asarray(vector, dtype=np.float64)
+        keys = self.candidates(vector) or list(self._vectors)
+        norm = np.linalg.norm(vector)
+        if norm < 1e-12 or not keys:
+            return []
+        matches = []
+        for key in keys:
+            stored = self._vectors[key]
+            stored_norm = np.linalg.norm(stored)
+            if stored_norm < 1e-12:
+                continue
+            similarity = float(vector @ stored / (norm * stored_norm))
+            if similarity >= min_similarity:
+                matches.append(LshMatch(key=key, similarity=similarity))
+        matches.sort(key=lambda match: -match.similarity)
+        return matches[:k]

@@ -1,0 +1,66 @@
+"""Descriptor matching with Lowe's ratio test.
+
+The ``matching`` service correlates a frame's SIFT descriptors with the
+shortlisted reference object's descriptors before pose estimation
+(§3.1).  Brute-force L2 matching with the classic 0.8 nearest/second-
+nearest ratio filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DescriptorMatch:
+    """A correspondence between query index and reference index."""
+
+    query_index: int
+    reference_index: int
+    distance: float
+
+
+def match_descriptors(query: np.ndarray, reference: np.ndarray, *,
+                      ratio: float = 0.8,
+                      max_distance: float = np.inf) -> List[DescriptorMatch]:
+    """Match ``(Nq, D)`` query descriptors against ``(Nr, D)`` reference.
+
+    Returns matches passing the ratio test (nearest distance must be
+    below ``ratio`` × second-nearest) and the absolute distance cap.
+    """
+    query = np.atleast_2d(np.asarray(query, dtype=np.float64))
+    reference = np.atleast_2d(np.asarray(reference, dtype=np.float64))
+    if query.size == 0 or reference.size == 0:
+        return []
+    if query.shape[1] != reference.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: {query.shape[1]} vs {reference.shape[1]}")
+    if not 0.0 < ratio <= 1.0:
+        raise ValueError(f"ratio must be in (0, 1], got {ratio}")
+
+    # Pairwise squared distances via the expansion trick.
+    q_sq = np.sum(query ** 2, axis=1)[:, None]
+    r_sq = np.sum(reference ** 2, axis=1)[None, :]
+    squared = np.maximum(q_sq + r_sq - 2.0 * (query @ reference.T), 0.0)
+
+    matches: List[DescriptorMatch] = []
+    single_reference = reference.shape[0] == 1
+    for query_index in range(query.shape[0]):
+        row = squared[query_index]
+        nearest = int(np.argmin(row))
+        nearest_distance = float(np.sqrt(row[nearest]))
+        if nearest_distance > max_distance:
+            continue
+        if not single_reference:
+            row_copy = row.copy()
+            row_copy[nearest] = np.inf
+            second = float(np.sqrt(np.min(row_copy)))
+            if second > 0 and nearest_distance >= ratio * second:
+                continue
+        matches.append(DescriptorMatch(query_index=query_index,
+                                       reference_index=nearest,
+                                       distance=nearest_distance))
+    return matches

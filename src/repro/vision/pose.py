@@ -1,0 +1,156 @@
+"""Homography-based pose estimation with RANSAC.
+
+``matching`` turns ratio-test correspondences into an object pose: a
+3×3 planar homography estimated by the normalized DLT inside a RANSAC
+loop, then used to project the reference object's corners into the
+frame (the bounding box scAtteR returns to the client, §3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class HomographyResult:
+    """RANSAC output: the homography, its inliers and reprojection error."""
+
+    matrix: np.ndarray
+    inliers: np.ndarray  # boolean mask over the correspondences
+    mean_error: float
+
+    @property
+    def num_inliers(self) -> int:
+        return int(np.count_nonzero(self.inliers))
+
+
+def _normalization_transform(points: np.ndarray) -> np.ndarray:
+    """Hartley normalization: zero centroid, mean distance sqrt(2)."""
+    centroid = points.mean(axis=0)
+    distances = np.linalg.norm(points - centroid, axis=1)
+    mean_distance = distances.mean()
+    scale = np.sqrt(2.0) / mean_distance if mean_distance > 1e-12 else 1.0
+    return np.array([
+        [scale, 0.0, -scale * centroid[0]],
+        [0.0, scale, -scale * centroid[1]],
+        [0.0, 0.0, 1.0],
+    ])
+
+
+def _apply_homography(matrix: np.ndarray,
+                      points: np.ndarray) -> np.ndarray:
+    homogeneous = np.hstack([points, np.ones((points.shape[0], 1))])
+    mapped = homogeneous @ matrix.T
+    w = mapped[:, 2:3]
+    w = np.where(np.abs(w) < 1e-12, 1e-12, w)
+    return mapped[:, :2] / w
+
+
+def estimate_homography_dlt(src: np.ndarray,
+                            dst: np.ndarray) -> Optional[np.ndarray]:
+    """Normalized direct linear transform from >= 4 correspondences.
+
+    Returns ``None`` for degenerate configurations.
+    """
+    src = np.asarray(src, dtype=np.float64)
+    dst = np.asarray(dst, dtype=np.float64)
+    if src.shape != dst.shape or src.ndim != 2 or src.shape[1] != 2:
+        raise ValueError(f"expected matching (N, 2) arrays, got "
+                         f"{src.shape} and {dst.shape}")
+    n = src.shape[0]
+    if n < 4:
+        raise ValueError(f"need >= 4 correspondences, got {n}")
+
+    t_src = _normalization_transform(src)
+    t_dst = _normalization_transform(dst)
+    src_n = _apply_homography(t_src, src)
+    dst_n = _apply_homography(t_dst, dst)
+
+    rows = []
+    for (x, y), (u, v) in zip(src_n, dst_n):
+        rows.append([-x, -y, -1, 0, 0, 0, u * x, u * y, u])
+        rows.append([0, 0, 0, -x, -y, -1, v * x, v * y, v])
+    a = np.asarray(rows)
+    try:
+        __, singular_values, vt = np.linalg.svd(a)
+    except np.linalg.LinAlgError:
+        return None
+    if singular_values[-2] < 1e-12:
+        return None  # rank-deficient: degenerate points
+    h_normalized = vt[-1].reshape(3, 3)
+    matrix = np.linalg.inv(t_dst) @ h_normalized @ t_src
+    if abs(matrix[2, 2]) < 1e-12:
+        return None
+    return matrix / matrix[2, 2]
+
+
+def estimate_homography_ransac(
+        src: np.ndarray, dst: np.ndarray, *,
+        threshold: float = 3.0, max_iterations: int = 200,
+        min_inliers: int = 6,
+        seed: int = 0) -> Optional[HomographyResult]:
+    """RANSAC homography between correspondence sets.
+
+    Returns ``None`` when no model reaches ``min_inliers`` support.
+    """
+    src = np.asarray(src, dtype=np.float64)
+    dst = np.asarray(dst, dtype=np.float64)
+    if src.shape != dst.shape or src.ndim != 2 or src.shape[1] != 2:
+        raise ValueError(f"expected matching (N, 2) arrays, got "
+                         f"{src.shape} and {dst.shape}")
+    n = src.shape[0]
+    if n < 4:
+        return None
+
+    rng = np.random.default_rng(seed)
+    best_inliers: Optional[np.ndarray] = None
+    best_count = 0
+    for __ in range(max_iterations):
+        sample = rng.choice(n, size=4, replace=False)
+        try:
+            candidate = estimate_homography_dlt(src[sample], dst[sample])
+        except ValueError:
+            continue
+        if candidate is None:
+            continue
+        errors = np.linalg.norm(
+            _apply_homography(candidate, src) - dst, axis=1)
+        inliers = errors < threshold
+        count = int(np.count_nonzero(inliers))
+        if count > best_count:
+            best_count = count
+            best_inliers = inliers
+            if count == n:
+                break
+
+    if best_inliers is None or best_count < max(min_inliers, 4):
+        return None
+
+    refined = estimate_homography_dlt(src[best_inliers], dst[best_inliers])
+    if refined is None:
+        return None
+    errors = np.linalg.norm(_apply_homography(refined, src) - dst, axis=1)
+    inliers = errors < threshold
+    if int(np.count_nonzero(inliers)) < max(min_inliers, 4):
+        return None
+    return HomographyResult(
+        matrix=refined, inliers=inliers,
+        mean_error=float(errors[inliers].mean()))
+
+
+def project_corners(matrix: np.ndarray,
+                    size: Tuple[int, int]) -> np.ndarray:
+    """Map a ``(height, width)`` reference rectangle's corners through
+    the homography; returns ``(4, 2)`` frame coordinates in order
+    top-left, top-right, bottom-right, bottom-left."""
+    height, width = size
+    corners = np.array([
+        [0.0, 0.0],
+        [width - 1.0, 0.0],
+        [width - 1.0, height - 1.0],
+        [0.0, height - 1.0],
+    ])
+    return _apply_homography(np.asarray(matrix, dtype=np.float64), corners)

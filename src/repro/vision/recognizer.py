@@ -1,0 +1,211 @@
+"""End-to-end object recognition: the scAtteR pipeline in one process.
+
+This is the *local mode* of the AR application — the exact algorithmic
+chain the five microservices split between them (§3.1), runnable
+in-process on real frames:
+
+``primary``    grayscale + dimension reduction
+``sift``       keypoints + descriptors
+``encoding``   PCA projection + Fisher vector
+``lsh``        LSH shortlist of candidate reference objects
+``matching``   ratio-test matching + RANSAC homography pose
+
+:class:`RecognizerTrainer` performs the offline phase (fit PCA and the
+GMM vocabulary on reference descriptors, index reference Fisher vectors
+in LSH); :class:`ObjectRecognizer` performs the online phase per frame
+and returns bounding boxes, which is what scAtteR streams back to the
+client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.vision.dataset import WorkplaceDataset
+from repro.vision.fisher import FisherEncoder, GaussianMixture
+from repro.vision.image import bilinear_resize, to_grayscale
+from repro.vision.lsh import LshIndex
+from repro.vision.matching import match_descriptors
+from repro.vision.pca import Pca
+from repro.vision.pose import estimate_homography_ransac, project_corners
+from repro.vision.sift import SiftExtractor
+
+
+@dataclass(frozen=True)
+class Recognition:
+    """One recognized object in a frame."""
+
+    name: str
+    corners: np.ndarray  # (4, 2) frame coordinates
+    num_inliers: int
+    similarity: float    # LSH cosine similarity of the shortlist hit
+    mean_error: float    # RANSAC mean reprojection error (px)
+
+
+@dataclass(frozen=True)
+class FrameResult:
+    """Full per-frame output of the recognizer."""
+
+    recognitions: Tuple[Recognition, ...]
+    num_keypoints: int
+
+
+def _plausible_pose(corners: np.ndarray,
+                    reference_size: Tuple[int, int],
+                    min_area_ratio: float = 0.25,
+                    max_area_ratio: float = 4.0) -> bool:
+    """Reject degenerate homographies.
+
+    A believable planar pose keeps the projected rectangle convex
+    (consistent cross-product signs around the polygon) at a scale
+    within a sane range of the reference object's area.
+    """
+    signs = []
+    for i in range(4):
+        a = corners[(i + 1) % 4] - corners[i]
+        b = corners[(i + 2) % 4] - corners[(i + 1) % 4]
+        signs.append(np.sign(a[0] * b[1] - a[1] * b[0]))
+    if len({s for s in signs if s != 0}) != 1:
+        return False
+    # Shoelace area of the projected quadrilateral.
+    x, y = corners[:, 0], corners[:, 1]
+    area = 0.5 * abs(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1)))
+    reference_area = float(reference_size[0] * reference_size[1])
+    ratio = area / reference_area
+    return min_area_ratio <= ratio <= max_area_ratio
+
+
+class RecognizerTrainer:
+    """Offline phase: vocabulary, PCA basis and the LSH index."""
+
+    def __init__(self, *, pca_components: int = 24,
+                 gmm_components: int = 5, lsh_tables: int = 6,
+                 lsh_bits: int = 10, seed: int = 0):
+        self.pca_components = pca_components
+        self.gmm_components = gmm_components
+        self.lsh_tables = lsh_tables
+        self.lsh_bits = lsh_bits
+        self.seed = seed
+
+    def train(self, dataset: WorkplaceDataset,
+              extractor: SiftExtractor) -> "ObjectRecognizer":
+        """Extract reference features and build the online recognizer."""
+        dataset.extract_all_features(extractor)
+        all_descriptors = [
+            reference.descriptors
+            for reference in dataset.objects.values()
+            if reference.descriptors is not None
+            and len(reference.descriptors)
+        ]
+        if not all_descriptors:
+            raise ValueError("dataset produced no reference descriptors")
+        stacked = np.vstack(all_descriptors)
+        components = min(self.pca_components, *stacked.shape)
+        pca = Pca(components).fit(stacked)
+        projected = pca.transform(stacked)
+        gmm_k = min(self.gmm_components, projected.shape[0])
+        gmm = GaussianMixture(gmm_k, seed=self.seed).fit(projected)
+        encoder = FisherEncoder(gmm)
+
+        index = LshIndex(encoder.dimension, n_tables=self.lsh_tables,
+                         n_bits=self.lsh_bits, seed=self.seed)
+        for name, reference in dataset.objects.items():
+            fisher = encoder.encode(pca.transform(reference.descriptors))
+            index.insert(name, fisher)
+        return ObjectRecognizer(dataset=dataset, extractor=extractor,
+                                pca=pca, encoder=encoder, index=index)
+
+
+class ObjectRecognizer:
+    """Online phase: frame in, recognized objects out."""
+
+    def __init__(self, *, dataset: WorkplaceDataset,
+                 extractor: SiftExtractor, pca: Pca,
+                 encoder: FisherEncoder, index: LshIndex,
+                 working_size: Optional[Tuple[int, int]] = None,
+                 shortlist: int = 3, ratio: float = 0.85,
+                 ransac_threshold: float = 4.0, min_inliers: int = 6):
+        self.dataset = dataset
+        self.extractor = extractor
+        self.pca = pca
+        self.encoder = encoder
+        self.index = index
+        self.working_size = working_size
+        self.shortlist = shortlist
+        self.ratio = ratio
+        self.ransac_threshold = ransac_threshold
+        self.min_inliers = min_inliers
+
+    # ------------------------------------------------------------------
+    # Stage implementations (named after the microservices)
+    # ------------------------------------------------------------------
+    def preprocess(self, image: np.ndarray) -> np.ndarray:
+        """``primary``: grayscale + optional dimension reduction."""
+        gray = to_grayscale(image)
+        if self.working_size is not None:
+            gray = bilinear_resize(gray, self.working_size)
+        return gray
+
+    def extract(self, gray: np.ndarray):
+        """``sift``: keypoints and descriptors."""
+        return self.extractor.detect_and_describe(gray)
+
+    def encode(self, descriptors: np.ndarray) -> np.ndarray:
+        """``encoding``: PCA + Fisher vector."""
+        if len(descriptors) == 0:
+            return np.zeros(self.encoder.dimension)
+        return self.encoder.encode(self.pca.transform(descriptors))
+
+    def nearest_neighbours(self, fisher: np.ndarray):
+        """``lsh``: shortlist of candidate reference objects."""
+        return self.index.query(fisher, k=self.shortlist)
+
+    def match_and_pose(self, keypoints, descriptors,
+                       candidates) -> List[Recognition]:
+        """``matching``: correspondences + RANSAC pose per candidate."""
+        recognitions: List[Recognition] = []
+        if len(descriptors) == 0:
+            return recognitions
+        frame_xy = np.array([[kp.x, kp.y] for kp in keypoints])
+        for candidate in candidates:
+            reference = self.dataset.objects[candidate.key]
+            if (reference.descriptors is None
+                    or len(reference.descriptors) < 4):
+                continue
+            matches = match_descriptors(descriptors,
+                                        reference.descriptors,
+                                        ratio=self.ratio)
+            if len(matches) < 4:
+                continue
+            src = reference.keypoint_coordinates[
+                [match.reference_index for match in matches]]
+            dst = frame_xy[[match.query_index for match in matches]]
+            result = estimate_homography_ransac(
+                src, dst, threshold=self.ransac_threshold,
+                min_inliers=self.min_inliers, seed=0)
+            if result is None:
+                continue
+            corners = project_corners(result.matrix, reference.size)
+            if not _plausible_pose(corners, reference.size):
+                continue
+            recognitions.append(Recognition(
+                name=reference.name, corners=corners,
+                num_inliers=result.num_inliers,
+                similarity=candidate.similarity,
+                mean_error=result.mean_error))
+        return recognitions
+
+    # ------------------------------------------------------------------
+    def process_frame(self, image: np.ndarray) -> FrameResult:
+        """Run the full pipeline on one frame."""
+        gray = self.preprocess(image)
+        keypoints, descriptors = self.extract(gray)
+        fisher = self.encode(descriptors)
+        candidates = self.nearest_neighbours(fisher)
+        recognitions = self.match_and_pose(keypoints, descriptors,
+                                           candidates)
+        return FrameResult(recognitions=tuple(recognitions),
+                           num_keypoints=len(keypoints))

@@ -1,0 +1,228 @@
+"""SIFT feature detection and description [Lowe 2004].
+
+The ``sift`` microservice's algorithm: scale-space extrema in the DoG
+pyramid, contrast and edge rejection, dominant-orientation assignment,
+and 4×4×8 = 128-dimensional gradient-histogram descriptors sampled on a
+rotated grid.  Sub-pixel refinement is omitted (keypoints sit on the
+integer lattice), which is a common simplification that costs a little
+localization accuracy but none of the pipeline behaviour this
+reproduction studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.vision.gaussian import ScaleSpace, build_scale_space
+from repro.vision.image import image_gradients
+
+
+@dataclass(frozen=True)
+class SiftKeypoint:
+    """A detected keypoint in input-image coordinates."""
+
+    x: float
+    y: float
+    sigma: float
+    orientation: float
+    octave: int
+    level: int
+    response: float
+
+
+class SiftExtractor:
+    """Detects keypoints and computes 128-d descriptors.
+
+    Parameters follow Lowe's defaults, scaled down slightly so the
+    extractor is productive on the small synthetic frames used in
+    tests and examples.
+    """
+
+    def __init__(self, *, intervals: int = 3, base_sigma: float = 1.6,
+                 contrast_threshold: float = 0.03,
+                 edge_ratio: float = 10.0,
+                 max_keypoints: Optional[int] = 400):
+        if contrast_threshold <= 0:
+            raise ValueError(
+                f"contrast_threshold must be positive, got {contrast_threshold}")
+        if edge_ratio <= 1:
+            raise ValueError(f"edge_ratio must exceed 1, got {edge_ratio}")
+        self.intervals = intervals
+        self.base_sigma = base_sigma
+        self.contrast_threshold = contrast_threshold
+        self.edge_ratio = edge_ratio
+        self.max_keypoints = max_keypoints
+
+    # ------------------------------------------------------------------
+    # Detection
+    # ------------------------------------------------------------------
+    def detect(self, image: np.ndarray) -> Tuple[List[SiftKeypoint], ScaleSpace]:
+        """Find scale-space extrema; returns keypoints + the pyramid."""
+        space = build_scale_space(image, intervals=self.intervals,
+                                  base_sigma=self.base_sigma)
+        keypoints: List[SiftKeypoint] = []
+        for octave_index, dog_octave in enumerate(space.dogs):
+            stack = np.stack(dog_octave)  # (levels, H, W)
+            for level in range(1, stack.shape[0] - 1):
+                keypoints.extend(self._extrema_at_level(
+                    space, stack, octave_index, level))
+        keypoints.sort(key=lambda kp: -kp.response)
+        if self.max_keypoints is not None:
+            keypoints = keypoints[:self.max_keypoints]
+        return keypoints, space
+
+    def _extrema_at_level(self, space: ScaleSpace, stack: np.ndarray,
+                          octave_index: int,
+                          level: int) -> List[SiftKeypoint]:
+        dog = stack[level]
+        height, width = dog.shape
+        if height < 3 or width < 3:
+            return []
+        centre = dog[1:-1, 1:-1]
+
+        # 3x3x3 neighbourhood comparison, vectorized with shifted views.
+        is_max = np.ones_like(centre, dtype=bool)
+        is_min = np.ones_like(centre, dtype=bool)
+        for dz in (-1, 0, 1):
+            plane = stack[level + dz]
+            for dy in (0, 1, 2):
+                for dx in (0, 1, 2):
+                    if dz == 0 and dy == 1 and dx == 1:
+                        continue
+                    neighbour = plane[dy:height - 2 + dy, dx:width - 2 + dx]
+                    is_max &= centre > neighbour
+                    is_min &= centre < neighbour
+        candidates = (is_max | is_min) & (
+            np.abs(centre) >= self.contrast_threshold)
+
+        ys, xs = np.nonzero(candidates)
+        if len(ys) == 0:
+            return []
+        ys = ys + 1
+        xs = xs + 1
+
+        # Edge rejection via the 2x2 Hessian of the DoG at the point.
+        dxx = dog[ys, xs + 1] + dog[ys, xs - 1] - 2 * dog[ys, xs]
+        dyy = dog[ys + 1, xs] + dog[ys - 1, xs] - 2 * dog[ys, xs]
+        dxy = (dog[ys + 1, xs + 1] - dog[ys + 1, xs - 1]
+               - dog[ys - 1, xs + 1] + dog[ys - 1, xs - 1]) / 4.0
+        trace = dxx + dyy
+        det = dxx * dyy - dxy ** 2
+        r = self.edge_ratio
+        keep = (det > 0) & (trace ** 2 * r < det * (r + 1) ** 2)
+
+        scale = 2.0 ** octave_index
+        sigma = space.sigmas[level] * scale
+        gaussian = space.gaussians[octave_index][level]
+        keypoints = []
+        for y, x in zip(ys[keep], xs[keep]):
+            orientation = self._dominant_orientation(gaussian, x, y,
+                                                     space.sigmas[level])
+            keypoints.append(SiftKeypoint(
+                x=float(x) * scale, y=float(y) * scale, sigma=float(sigma),
+                orientation=orientation, octave=octave_index, level=level,
+                response=float(abs(dog[y, x]))))
+        return keypoints
+
+    def _dominant_orientation(self, gaussian: np.ndarray, x: int, y: int,
+                              sigma: float) -> float:
+        """Peak of the 36-bin gradient-orientation histogram."""
+        radius = max(2, int(round(3.0 * 1.5 * sigma)))
+        height, width = gaussian.shape
+        y0, y1 = max(1, y - radius), min(height - 1, y + radius + 1)
+        x0, x1 = max(1, x - radius), min(width - 1, x + radius + 1)
+        patch = gaussian[y0 - 1:y1 + 1, x0 - 1:x1 + 1]
+        magnitude, orientation = image_gradients(patch)
+        magnitude = magnitude[1:-1, 1:-1]
+        orientation = orientation[1:-1, 1:-1]
+
+        yy, xx = np.mgrid[y0:y1, x0:x1]
+        weight = np.exp(-((yy - y) ** 2 + (xx - x) ** 2)
+                        / (2.0 * (1.5 * sigma) ** 2))
+        bins = ((orientation + np.pi) / (2 * np.pi) * 36).astype(int) % 36
+        histogram = np.bincount(bins.ravel(),
+                                weights=(magnitude * weight).ravel(),
+                                minlength=36)
+        peak = int(np.argmax(histogram))
+        return peak / 36.0 * 2 * np.pi - np.pi
+
+    # ------------------------------------------------------------------
+    # Description
+    # ------------------------------------------------------------------
+    def describe(self, keypoints: List[SiftKeypoint],
+                 space: ScaleSpace) -> np.ndarray:
+        """Compute 128-d descriptors; returns ``(N, 128)`` float array."""
+        descriptors = np.zeros((len(keypoints), 128))
+        gradient_cache: dict = {}
+        for index, keypoint in enumerate(keypoints):
+            descriptors[index] = self._descriptor(keypoint, space,
+                                                  gradient_cache)
+        return descriptors
+
+    def detect_and_describe(
+            self, image: np.ndarray) -> Tuple[List[SiftKeypoint], np.ndarray]:
+        """Convenience: detect keypoints and compute their descriptors."""
+        keypoints, space = self.detect(image)
+        return keypoints, self.describe(keypoints, space)
+
+    def _descriptor(self, keypoint: SiftKeypoint, space: ScaleSpace,
+                    gradient_cache: Optional[dict] = None) -> np.ndarray:
+        gaussian = space.gaussians[keypoint.octave][keypoint.level]
+        scale = 2.0 ** keypoint.octave
+        cx = keypoint.x / scale
+        cy = keypoint.y / scale
+        sigma = space.sigmas[keypoint.level]
+
+        cache_key = (keypoint.octave, keypoint.level)
+        if gradient_cache is not None and cache_key in gradient_cache:
+            magnitude, orientation = gradient_cache[cache_key]
+        else:
+            magnitude, orientation = image_gradients(gaussian)
+            if gradient_cache is not None:
+                gradient_cache[cache_key] = (magnitude, orientation)
+
+        # 16x16 sample grid, 4x4 cells, rotated by the keypoint
+        # orientation, spaced proportionally to the keypoint scale.
+        spacing = 0.75 * sigma
+        offsets = (np.arange(16) - 7.5) * spacing
+        grid_x, grid_y = np.meshgrid(offsets, offsets)
+        cos_t = np.cos(keypoint.orientation)
+        sin_t = np.sin(keypoint.orientation)
+        sample_x = cx + cos_t * grid_x - sin_t * grid_y
+        sample_y = cy + sin_t * grid_x + cos_t * grid_y
+
+        height, width = gaussian.shape
+        xi = np.clip(np.round(sample_x).astype(int), 0, width - 1)
+        yi = np.clip(np.round(sample_y).astype(int), 0, height - 1)
+        sampled_mag = magnitude[yi, xi]
+        sampled_ori = orientation[yi, xi] - keypoint.orientation
+
+        # Gaussian weighting over the window.
+        window = np.exp(-(grid_x ** 2 + grid_y ** 2)
+                        / (2.0 * (8.0 * spacing / 2.0) ** 2))
+        weighted = sampled_mag * window
+
+        histogram = np.zeros((4, 4, 8))
+        ori_bins = ((sampled_ori + np.pi) / (2 * np.pi) * 8).astype(int) % 8
+        for row in range(4):
+            for col in range(4):
+                block_mag = weighted[row * 4:(row + 1) * 4,
+                                     col * 4:(col + 1) * 4]
+                block_bin = ori_bins[row * 4:(row + 1) * 4,
+                                     col * 4:(col + 1) * 4]
+                histogram[row, col] = np.bincount(
+                    block_bin.ravel(), weights=block_mag.ravel(),
+                    minlength=8)
+
+        descriptor = histogram.ravel()
+        norm = np.linalg.norm(descriptor)
+        if norm > 1e-12:
+            descriptor = descriptor / norm
+            descriptor = np.minimum(descriptor, 0.2)  # clip bursts
+            norm = np.linalg.norm(descriptor)
+            if norm > 1e-12:
+                descriptor = descriptor / norm
+        return descriptor

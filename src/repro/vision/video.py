@@ -1,0 +1,97 @@
+"""The pre-recorded replay video.
+
+Every client in the paper replays a 10 s, 30 FPS, 720p smartphone video
+of a workplace (§3.2).  :class:`SyntheticVideo` reproduces that as a
+deterministic frame source: a smooth hand-held camera path (sinusoidal
+pan plus gentle zoom oscillation) over the synthetic workplace scene.
+Frames are generated lazily and cached, so replaying the loop is cheap.
+
+The nominal *wire* sizes (what travels between pipeline services) come
+from the paper: ≈180 KB per pre-processed frame for scAtteR, growing to
+≈480 KB when scAtteR++ packs the SIFT state into the frame (§5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.vision.dataset import ScenePlacement, WorkplaceDataset
+
+#: Wire size of a pre-processed frame in scAtteR (§5).
+FRAME_WIRE_BYTES = 180 * 1024
+#: Wire size once sift state is packed into the frame (scAtteR++, §5).
+FRAME_WIRE_BYTES_STATEFUL = 480 * 1024
+
+
+@dataclass(frozen=True)
+class VideoFrame:
+    """One frame of the replay video."""
+
+    index: int
+    timestamp_s: float
+    image: np.ndarray
+    ground_truth: Tuple[ScenePlacement, ...]
+
+
+class SyntheticVideo:
+    """Deterministic 10 s / 30 FPS workplace video."""
+
+    def __init__(self, *, duration_s: float = 10.0, fps: float = 30.0,
+                 size: Tuple[int, int] = (144, 192), seed: int = 0,
+                 dataset: Optional[WorkplaceDataset] = None,
+                 pan_amplitude: float = 6.0,
+                 zoom_amplitude: float = 0.05):
+        if duration_s <= 0 or fps <= 0:
+            raise ValueError("duration_s and fps must be positive")
+        self.duration_s = duration_s
+        self.fps = fps
+        self.size = size
+        self.seed = seed
+        self.dataset = dataset or WorkplaceDataset(seed=seed)
+        self.pan_amplitude = pan_amplitude
+        self.zoom_amplitude = zoom_amplitude
+        self._cache: Dict[int, VideoFrame] = {}
+
+    @property
+    def num_frames(self) -> int:
+        return int(round(self.duration_s * self.fps))
+
+    @property
+    def frame_interval_s(self) -> float:
+        return 1.0 / self.fps
+
+    def camera_pose(self, index: int) -> Tuple[Tuple[float, float], float]:
+        """(offset, zoom) of the hand-held camera at frame ``index``."""
+        t = index / self.fps
+        offset = (
+            self.pan_amplitude * np.sin(2 * np.pi * t / self.duration_s),
+            0.5 * self.pan_amplitude
+            * np.sin(4 * np.pi * t / self.duration_s + 1.0),
+        )
+        zoom = 1.0 + self.zoom_amplitude * np.sin(
+            2 * np.pi * t / self.duration_s + 0.5)
+        return offset, float(zoom)
+
+    def frame(self, index: int) -> VideoFrame:
+        """The frame at ``index`` (wrapping: clients replay in a loop)."""
+        index = index % self.num_frames
+        cached = self._cache.get(index)
+        if cached is not None:
+            return cached
+        offset, zoom = self.camera_pose(index)
+        image, ground_truth = self.dataset.render_scene(
+            size=self.size, camera_offset=offset, zoom=zoom,
+            seed=self.seed + index)
+        frame = VideoFrame(index=index,
+                           timestamp_s=index * self.frame_interval_s,
+                           image=image,
+                           ground_truth=tuple(ground_truth))
+        self._cache[index] = frame
+        return frame
+
+    def frames(self) -> List[VideoFrame]:
+        """All frames of one loop, in order."""
+        return [self.frame(i) for i in range(self.num_frames)]

@@ -1,0 +1,94 @@
+"""Tests for the adaptive (AIMD) client."""
+
+import pytest
+
+from repro.cluster.testbed import build_paper_testbed
+from repro.experiments.runner import DRAIN_S
+from repro.orchestra.orchestrator import Orchestrator
+from repro.scatter.adaptive import AdaptiveArClient
+from repro.scatter.client import ArClient
+from repro.scatter.config import baseline_configs
+from repro.scatter.pipeline import ScatterPipeline
+from repro.sim import RngRegistry, Simulator
+
+
+def run_clients(client_class, num_clients, duration_s=20.0, **kwargs):
+    sim = Simulator()
+    rng = RngRegistry(0)
+    testbed = build_paper_testbed(sim, rng, num_clients=num_clients)
+    orchestrator = Orchestrator(testbed)
+    ScatterPipeline(testbed, orchestrator,
+                    baseline_configs()["C1"]).deploy()
+    orchestrator.start()
+    clients = [client_class(client_id=i, node=node,
+                            network=testbed.network,
+                            registry=orchestrator.registry,
+                            rng=rng.stream(f"client.{i}"), **kwargs)
+               for i, node in enumerate(testbed.client_nodes)]
+    for client in clients:
+        client.start(duration_s)
+    sim.run(until=duration_s + DRAIN_S)
+    return clients
+
+
+def test_adaptive_keeps_full_rate_when_uncongested():
+    clients = run_clients(AdaptiveArClient, num_clients=1)
+    client = clients[0]
+    # A single client is served fine: the rate stays near 30 FPS.
+    assert client.current_fps >= 25.0
+    assert client.stats.success_rate() >= 0.80
+
+
+def test_adaptive_backs_off_under_congestion():
+    clients = run_clients(AdaptiveArClient, num_clients=4)
+    for client in clients:
+        assert client.current_fps < 25.0
+        assert len(client.rate_history) > 2
+
+
+def test_adaptive_improves_goodput_under_congestion():
+    fixed = run_clients(ArClient, num_clients=4)
+    adaptive = run_clients(AdaptiveArClient, num_clients=4)
+    fixed_goodput = sum(c.stats.success_rate()
+                        for c in fixed) / len(fixed)
+    adaptive_goodput = sum(c.goodput_ratio()
+                           for c in adaptive) / len(adaptive)
+    # AIMD converts wasted frames into delivered ones.
+    assert adaptive_goodput > fixed_goodput * 1.5
+    # And delivered FPS does not collapse below the fixed client's.
+    fixed_fps = sum(c.stats.fps(20.0) for c in fixed) / len(fixed)
+    adaptive_fps = sum(c.stats.fps(20.0)
+                       for c in adaptive) / len(adaptive)
+    assert adaptive_fps >= fixed_fps * 0.8
+
+
+def test_adaptive_respects_rate_floor():
+    clients = run_clients(AdaptiveArClient, num_clients=4,
+                          min_fps=8.0)
+    for client in clients:
+        assert client.current_fps >= 8.0
+        for __, fps in client.rate_history:
+            assert 8.0 <= fps <= 30.0
+
+
+def test_adaptive_mean_rate_reported():
+    clients = run_clients(AdaptiveArClient, num_clients=2)
+    for client in clients:
+        assert 5.0 <= client.mean_rate_fps() <= 30.0
+
+
+def test_adaptive_validation():
+    sim = Simulator()
+    rng = RngRegistry(0)
+    testbed = build_paper_testbed(sim, rng, num_clients=1)
+    orchestrator = Orchestrator(testbed)
+    common = dict(client_id=0, node="nuc0", network=testbed.network,
+                  registry=orchestrator.registry)
+    with pytest.raises(ValueError):
+        AdaptiveArClient(target_delivery_ratio=0.0, **common)
+    with pytest.raises(ValueError):
+        AdaptiveArClient(min_fps=0.0, **common)
+    with pytest.raises(ValueError):
+        AdaptiveArClient(min_fps=40.0, max_fps=30.0, **common)
+    with pytest.raises(ValueError):
+        AdaptiveArClient(decrease_factor=1.0, **common)

@@ -1,0 +1,204 @@
+"""Unit tests for the autoscaling policies and loop."""
+
+import pytest
+
+from repro.cluster.testbed import build_paper_testbed
+from repro.orchestra.autoscaler import (
+    AppAwareScalingPolicy,
+    Autoscaler,
+    HardwareScalingPolicy,
+)
+from repro.orchestra.orchestrator import Orchestrator
+from repro.scatter.config import uniform_config
+from repro.scatter.pipeline import ScatterPipeline
+from repro.scatterpp.pipeline import scatterpp_pipeline_kwargs
+from repro.sim import RngRegistry, Simulator
+
+
+def make_deployment(with_sidecars=True):
+    sim = Simulator()
+    testbed = build_paper_testbed(sim, RngRegistry(0), num_clients=1)
+    orchestrator = Orchestrator(testbed)
+    kwargs = scatterpp_pipeline_kwargs() if with_sidecars else {}
+    pipeline = ScatterPipeline(testbed, orchestrator,
+                               uniform_config("E2", "e2"), **kwargs)
+    pipeline.deploy()
+    orchestrator.start()
+    return sim, testbed, orchestrator, pipeline
+
+
+# ----------------------------------------------------------------------
+# HardwareScalingPolicy
+# ----------------------------------------------------------------------
+def test_hardware_policy_quiet_when_idle():
+    sim, __, orchestrator, __p = make_deployment()
+    sim.run(until=2.5)  # a couple of monitor samples, no load
+    policy = HardwareScalingPolicy(utilization_threshold=0.5)
+    assert policy.services_to_scale(orchestrator) == {}
+
+
+def test_hardware_policy_flags_hot_machine():
+    sim, testbed, orchestrator, __ = make_deployment()
+    machine = testbed.machine("e2")
+
+    def hog():
+        # Saturate both E2 GPUs across the sampling window.
+        for gpu in machine.gpus:
+            gpu.meter.add(1.0)
+        yield sim.timeout(3.0)
+
+    sim.spawn(hog())
+    sim.run(until=2.5)
+    policy = HardwareScalingPolicy(utilization_threshold=0.5)
+    flagged = policy.services_to_scale(orchestrator)
+    # Every service hosted on the hot machine is flagged — the policy
+    # cannot attribute the heat to one service.
+    assert set(flagged) == set(orchestrator.services())
+    severity, reason = flagged["sift"]
+    assert severity > 0.5
+    assert "e2" in reason
+
+
+def test_hardware_policy_validation():
+    with pytest.raises(ValueError):
+        HardwareScalingPolicy(utilization_threshold=0.0)
+
+
+# ----------------------------------------------------------------------
+# AppAwareScalingPolicy
+# ----------------------------------------------------------------------
+def test_app_aware_policy_quiet_without_drops():
+    sim, __, orchestrator, __p = make_deployment()
+    sim.run(until=1.0)
+    policy = AppAwareScalingPolicy()
+    assert policy.services_to_scale(orchestrator) == {}
+
+
+def test_app_aware_policy_flags_dropping_service():
+    sim, __, orchestrator, __p = make_deployment()
+    sim.run(until=1.0)
+    sift = orchestrator.instances("sift")[0]
+    sift.sidecar.stats.dropped_stale = 50
+    sift.sidecar.stats.dispatched = 50
+    policy = AppAwareScalingPolicy(drop_ratio_threshold=0.05)
+    flagged = policy.services_to_scale(orchestrator)
+    assert "sift" in flagged
+    severity, reason = flagged["sift"]
+    assert severity == pytest.approx(0.5)
+    assert "drop ratio" in reason
+
+
+def test_app_aware_policy_uses_windows_not_cumulative():
+    sim, __, orchestrator, __p = make_deployment()
+    sift = orchestrator.instances("sift")[0]
+    policy = AppAwareScalingPolicy(drop_ratio_threshold=0.05)
+
+    sift.sidecar.stats.dropped_stale = 50
+    sift.sidecar.stats.dispatched = 50
+    assert "sift" in policy.services_to_scale(orchestrator)
+
+    # No new drops since the last evaluation: the window is clean even
+    # though cumulative counters still show 50%.
+    sift.sidecar.stats.dispatched = 150
+    flagged = policy.services_to_scale(orchestrator)
+    assert "sift" not in flagged
+
+
+def test_app_aware_policy_ignores_plain_services():
+    sim, __, orchestrator, __p = make_deployment(with_sidecars=False)
+    policy = AppAwareScalingPolicy()
+    # No sidecars -> no hooks -> never flags (and never crashes).
+    assert policy.services_to_scale(orchestrator) == {}
+
+
+def test_app_aware_policy_validation():
+    with pytest.raises(ValueError):
+        AppAwareScalingPolicy(drop_ratio_threshold=0.0)
+    with pytest.raises(ValueError):
+        AppAwareScalingPolicy(queue_depth_threshold=0)
+
+
+# ----------------------------------------------------------------------
+# Autoscaler loop
+# ----------------------------------------------------------------------
+class StubPolicy:
+    """Flags a fixed set of services on every evaluation."""
+
+    def __init__(self, flagged):
+        self.flagged = flagged
+
+    def services_to_scale(self, orchestrator):
+        return dict(self.flagged)
+
+
+def test_autoscaler_requires_consecutive_breaches():
+    sim, __, orchestrator, __p = make_deployment()
+    autoscaler = Autoscaler(orchestrator,
+                            StubPolicy({"sift": (1.0, "test")}),
+                            breaches_required=2, cooldown_s=0.0,
+                            placement_machine="e1")
+    assert autoscaler.evaluate() == []
+    actions = autoscaler.evaluate()
+    assert len(actions) == 1
+    assert actions[0].service == "sift"
+    assert len(orchestrator.instances("sift")) == 2
+
+
+def test_autoscaler_scales_only_worst_offender():
+    sim, __, orchestrator, __p = make_deployment()
+    policy = StubPolicy({"sift": (0.9, "big"), "lsh": (0.1, "small")})
+    autoscaler = Autoscaler(orchestrator, policy, breaches_required=1,
+                            cooldown_s=0.0, placement_machine="e1")
+    actions = autoscaler.evaluate()
+    assert [a.service for a in actions] == ["sift"]
+    assert len(orchestrator.instances("lsh")) == 1
+
+
+def test_autoscaler_respects_cooldown_and_max_replicas():
+    sim, __, orchestrator, __p = make_deployment()
+    autoscaler = Autoscaler(orchestrator,
+                            StubPolicy({"sift": (1.0, "test")}),
+                            breaches_required=1, cooldown_s=100.0,
+                            max_replicas=2, placement_machine="e1")
+    assert len(autoscaler.evaluate()) == 1
+    # Cooldown blocks the next action even though the breach persists.
+    assert autoscaler.evaluate() == []
+    autoscaler._cooldown_until["sift"] = 0.0
+    # Max replicas (2) already reached.
+    assert autoscaler.evaluate() == []
+    assert len(orchestrator.instances("sift")) == 2
+
+
+def test_autoscaler_breach_counter_resets_when_clear():
+    sim, __, orchestrator, __p = make_deployment()
+    policy = StubPolicy({"sift": (1.0, "test")})
+    autoscaler = Autoscaler(orchestrator, policy, breaches_required=2,
+                            cooldown_s=0.0, placement_machine="e1")
+    autoscaler.evaluate()       # breach 1
+    policy.flagged = {}
+    autoscaler.evaluate()       # clear: counter resets
+    policy.flagged = {"sift": (1.0, "test")}
+    assert autoscaler.evaluate() == []   # breach 1 again
+    assert len(autoscaler.evaluate()) == 1
+
+
+def test_autoscaler_periodic_loop_runs():
+    sim, __, orchestrator, __p = make_deployment()
+    autoscaler = Autoscaler(orchestrator,
+                            StubPolicy({"sift": (1.0, "test")}),
+                            interval_s=1.0, breaches_required=2,
+                            cooldown_s=0.0, placement_machine="e1")
+    autoscaler.start()
+    sim.run(until=2.5)
+    assert len(orchestrator.instances("sift")) == 2
+    assert autoscaler.decisions[0].replicas_after == 2
+
+
+def test_autoscaler_validation():
+    sim, __, orchestrator, __p = make_deployment()
+    with pytest.raises(ValueError):
+        Autoscaler(orchestrator, StubPolicy({}), interval_s=0.0)
+    with pytest.raises(ValueError):
+        Autoscaler(orchestrator, StubPolicy({}), breaches_required=0)
+    with pytest.raises(ValueError):
+        Autoscaler(orchestrator, StubPolicy({}), max_replicas=0)

@@ -1,0 +1,116 @@
+"""Chaos tests: failures injected under live load.
+
+The orchestrator must keep the deployment converging through crashes
+(§3.2: Oakestra automatically re-deploys services upon failures), and
+the pipelines must degrade gracefully rather than wedge.
+"""
+
+import pytest
+
+from repro.cluster.container import ContainerState
+from repro.cluster.testbed import build_paper_testbed
+from repro.experiments.runner import DRAIN_S
+from repro.orchestra.orchestrator import Orchestrator
+from repro.scatter.client import ArClient
+from repro.scatter.config import PIPELINE_ORDER, baseline_configs
+from repro.scatter.pipeline import ScatterPipeline
+from repro.scatterpp.pipeline import scatterpp_pipeline_kwargs
+from repro.sim import RngRegistry, Simulator
+
+
+def run_with_chaos(*, scatterpp: bool, victims, kill_times,
+                   duration_s=30.0, num_clients=2):
+    sim = Simulator()
+    rng = RngRegistry(0)
+    testbed = build_paper_testbed(sim, rng, num_clients=num_clients)
+    orchestrator = Orchestrator(testbed, redeploy_delay_s=1.0)
+    kwargs = scatterpp_pipeline_kwargs() if scatterpp else {}
+    pipeline = ScatterPipeline(testbed, orchestrator,
+                               baseline_configs()["C1"], **kwargs)
+    pipeline.deploy()
+    orchestrator.start()
+    clients = [ArClient(client_id=i, node=node,
+                        network=testbed.network,
+                        registry=orchestrator.registry,
+                        rng=rng.stream(f"client.{i}"))
+               for i, node in enumerate(testbed.client_nodes)]
+    for client in clients:
+        client.start(duration_s)
+
+    def chaos():
+        for when, service in sorted(zip(kill_times, victims)):
+            yield sim.timeout(max(0.0, when - sim.now))
+            instances = orchestrator.instances(service)
+            if instances:
+                orchestrator.fail_instance(instances[0])
+
+    sim.spawn(chaos())
+    sim.run(until=duration_s + DRAIN_S)
+    return sim, orchestrator, clients
+
+
+def test_single_crash_recovers():
+    __, orchestrator, clients = run_with_chaos(
+        scatterpp=False, victims=["sift"], kill_times=[10.0])
+    assert orchestrator.redeploy_count == 1
+    # The replacement runs and is registered.
+    sift = orchestrator.instances("sift")
+    assert len(sift) == 1
+    assert sift[0].container.state is ContainerState.RUNNING
+    assert orchestrator.registry.instances("sift") == \
+        [sift[0].address]
+    # Clients kept receiving after recovery.
+    for client in clients:
+        late = [t for t in client.stats.received.values() if t > 15.0]
+        assert late, "no frames delivered after the recovery window"
+
+
+def test_repeated_crashes_all_services():
+    """Kill every service once, in pipeline order, under load."""
+    __, orchestrator, clients = run_with_chaos(
+        scatterpp=False, victims=list(PIPELINE_ORDER),
+        kill_times=[4.0, 8.0, 12.0, 16.0, 20.0])
+    assert orchestrator.redeploy_count == 5
+    for service in PIPELINE_ORDER:
+        instances = orchestrator.instances(service)
+        assert len(instances) == 1
+        assert instances[0].container.state is ContainerState.RUNNING
+    total_received = sum(c.stats.frames_received for c in clients)
+    assert total_received > 0
+
+
+def test_scatterpp_crash_recovers_with_sidecar():
+    __, orchestrator, clients = run_with_chaos(
+        scatterpp=True, victims=["encoding"], kill_times=[10.0])
+    assert orchestrator.redeploy_count == 1
+    encoding = orchestrator.instances("encoding")[0]
+    # The replacement came back with a working sidecar.
+    assert hasattr(encoding, "sidecar")
+    assert encoding.sidecar.stats.enqueued > 0
+    for client in clients:
+        late = [t for t in client.stats.received.values() if t > 15.0]
+        assert late
+
+
+def test_crash_frees_machine_memory():
+    sim, orchestrator, __ = run_with_chaos(
+        scatterpp=False, victims=["matching"], kill_times=[10.0])
+    # Exactly one replica per service exists; books balance (no
+    # leaked memory from the failed container).
+    machine = orchestrator.testbed.machine("e1")
+    expected = sum(
+        instance.container.memory_bytes()
+        for service in PIPELINE_ORDER
+        for instance in orchestrator.instances(service))
+    assert machine.memory.in_use_bytes == pytest.approx(expected)
+
+
+def test_back_to_back_crashes_of_same_service():
+    __, orchestrator, clients = run_with_chaos(
+        scatterpp=False, victims=["sift", "sift", "sift"],
+        kill_times=[5.0, 10.0, 15.0])
+    assert orchestrator.redeploy_count == 3
+    assert len(orchestrator.instances("sift")) == 1
+    late = [t for c in clients
+            for t in c.stats.received.values() if t > 20.0]
+    assert late

@@ -1,0 +1,95 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import FIGURES, _named_config, build_parser, main
+
+
+def test_parser_builds():
+    parser = build_parser()
+    args = parser.parse_args(["run", "--config", "C1", "--clients",
+                              "2", "--duration", "5"])
+    assert args.command == "run"
+    assert args.clients == 2
+
+
+def test_figures_command_lists_all(capsys):
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    for name in FIGURES:
+        assert name in out
+
+
+def test_figures_registry_covers_evaluation():
+    expected = {"fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
+                "fig9", "fig10", "fig11", "fig12", "headline"}
+    assert set(FIGURES) == expected
+
+
+def test_run_command_scatter(capsys):
+    code = main(["run", "--config", "C1", "--clients", "1",
+                 "--duration", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "mean FPS" in out
+    assert "sift" in out
+
+
+def test_run_command_scatterpp_with_trace(capsys):
+    code = main(["run", "--config", "C2", "--pipeline", "scatterpp",
+                 "--clients", "1", "--duration", "3", "--trace"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "trace component" in out
+    assert "network" in out
+
+
+def test_run_command_replica_vector(capsys):
+    code = main(["run", "--config", "1,2,1,1,2", "--clients", "1",
+                 "--duration", "2"])
+    assert code == 0
+    assert "[1, 2, 1, 1, 2]" in capsys.readouterr().out
+
+
+def test_figure_command(capsys):
+    code = main(["figure", "fig4", "--duration", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "cloud" in out
+    assert "FPS" in out
+
+
+def test_figure_command_unknown(capsys):
+    assert main(["figure", "fig99"]) == 2
+
+
+def test_testbed_command(capsys):
+    assert main(["testbed"]) == 0
+    out = capsys.readouterr().out
+    assert "e1" in out and "e2" in out and "cloud" in out
+    assert "15.00" in out  # client <-> cloud RTT
+
+
+def test_named_config_errors():
+    with pytest.raises(SystemExit):
+        _named_config("nonsense")
+
+
+def test_named_config_variants():
+    assert _named_config("C21").name == "C21"
+    assert _named_config("cloud").name == "cloud"
+    assert _named_config("hybrid").name == "hybrid"
+    assert _named_config("[1, 3, 2, 1, 3]").replica_vector() == \
+        [1, 3, 2, 1, 3]
+
+
+def test_optimize_command(capsys):
+    assert main(["optimize", "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "pred FPS" in out
+    assert "best by throughput" in out
+
+
+def test_optimize_latency_objective(capsys):
+    assert main(["optimize", "--objective", "latency"]) == 0
+    assert "best by latency" in capsys.readouterr().out

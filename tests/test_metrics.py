@@ -1,0 +1,196 @@
+"""Unit tests for QoS and hardware metrics."""
+
+import pytest
+
+from repro.cluster import Container, Machine
+from repro.cluster.gpu import RTX_2080
+from repro.cluster.machine import GB
+from repro.metrics import ClientStats, HardwareMonitor, summarize
+from repro.sim import Simulator
+
+
+# ----------------------------------------------------------------------
+# summarize
+# ----------------------------------------------------------------------
+def test_summarize_basic():
+    summary = summarize([1.0, 2.0, 3.0, 4.0])
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.median == pytest.approx(2.5)
+    assert summary.minimum == 1.0
+    assert summary.maximum == 4.0
+
+
+def test_summarize_empty():
+    summary = summarize([])
+    assert summary.count == 0
+    assert summary.mean == 0.0
+
+
+def test_summarize_p95():
+    summary = summarize(range(100))
+    assert summary.p95 == pytest.approx(94.05)
+
+
+# ----------------------------------------------------------------------
+# ClientStats
+# ----------------------------------------------------------------------
+def test_client_stats_success_and_latency():
+    stats = ClientStats(client_id=0)
+    for frame in range(10):
+        stats.record_sent(frame, frame / 30.0)
+    for frame in range(0, 10, 2):
+        stats.record_received(frame, frame / 30.0 + 0.040)
+    assert stats.frames_sent == 10
+    assert stats.frames_received == 5
+    assert stats.success_rate() == pytest.approx(0.5)
+    assert stats.e2e_latency().mean == pytest.approx(0.040)
+
+
+def test_client_stats_fps_over_duration():
+    stats = ClientStats(client_id=0)
+    for frame in range(30):
+        stats.record_sent(frame, frame / 30.0)
+        stats.record_received(frame, frame / 30.0 + 0.02)
+    assert stats.fps(duration_s=1.0) == pytest.approx(30.0)
+
+
+def test_client_stats_jitter_zero_for_regular_arrivals():
+    stats = ClientStats(client_id=0)
+    for frame in range(10):
+        stats.record_sent(frame, frame * 0.1)
+        stats.record_received(frame, frame * 0.1 + 0.01)
+    assert stats.jitter_s() == pytest.approx(0.0, abs=1e-12)
+
+
+def test_client_stats_jitter_positive_for_irregular_arrivals():
+    stats = ClientStats(client_id=0)
+    arrivals = [0.0, 0.1, 0.15, 0.4, 0.45]
+    for frame, arrival in enumerate(arrivals):
+        stats.record_sent(frame, arrival - 0.01)
+        stats.record_received(frame, arrival)
+    assert stats.jitter_s() > 0.05
+
+
+def test_client_stats_duplicate_result_ignored():
+    stats = ClientStats(client_id=0)
+    stats.record_sent(0, 0.0)
+    stats.record_received(0, 0.1)
+    stats.record_received(0, 0.2)
+    assert stats.frames_received == 1
+    assert len(stats.e2e_latencies_s) == 1
+
+
+def test_client_stats_errors():
+    stats = ClientStats(client_id=0)
+    stats.record_sent(0, 0.0)
+    with pytest.raises(ValueError):
+        stats.record_sent(0, 1.0)
+    with pytest.raises(ValueError):
+        stats.record_received(99, 1.0)
+
+
+def test_client_stats_fps_series():
+    stats = ClientStats(client_id=0)
+    for frame in range(60):
+        stats.record_sent(frame, frame / 30.0)
+        stats.record_received(frame, frame / 30.0 + 0.01)
+    series = stats.fps_series(bucket_s=1.0)
+    assert len(series) >= 2
+    assert series[0] == pytest.approx(30.0, rel=0.1)
+
+
+def test_client_stats_fps_series_validation():
+    with pytest.raises(ValueError):
+        ClientStats(client_id=0).fps_series(bucket_s=0.0)
+
+
+# ----------------------------------------------------------------------
+# HardwareMonitor
+# ----------------------------------------------------------------------
+def make_monitored_machine():
+    sim = Simulator()
+    machine = Machine(sim, "e1", cpu_cores=4, memory_gb=64,
+                      gpu_architecture=RTX_2080, gpu_count=2)
+    monitor = HardwareMonitor(sim, [machine], interval_s=1.0)
+    return sim, machine, monitor
+
+
+def test_monitor_samples_on_interval():
+    sim, machine, monitor = make_monitored_machine()
+    monitor.start()
+    sim.run(until=5.5)
+    assert len(monitor.samples) == 5
+    assert monitor.samples[0].timestamp_s == pytest.approx(1.0)
+
+
+def test_monitor_cpu_utilization_window():
+    sim, machine, monitor = make_monitored_machine()
+    monitor.start()
+
+    def work():
+        yield from machine.execute_cpu(2.0)  # 1 core busy 0..2 s
+
+    sim.spawn(work())
+    sim.run(until=3.5)
+    # First two windows: 1 of 4 cores busy = 25%; third: idle.
+    assert monitor.samples[0].cpu["e1"] == pytest.approx(0.25)
+    assert monitor.samples[1].cpu["e1"] == pytest.approx(0.25)
+    assert monitor.samples[2].cpu["e1"] == pytest.approx(0.0)
+
+
+def test_monitor_gpu_utilization_mean_over_devices():
+    sim, machine, monitor = make_monitored_machine()
+    monitor.start()
+
+    def work():
+        yield from machine.gpus[0].execute(1.0)
+
+    sim.spawn(work())
+    sim.run(until=1.5)
+    # 1 of 2 GPUs fully busy in the window = 50%.
+    assert monitor.samples[0].gpu["e1"] == pytest.approx(0.5)
+
+
+def test_monitor_container_memory_tracking():
+    sim, machine, monitor = make_monitored_machine()
+    container = Container(machine, "sift", base_memory_bytes=GB)
+    container.start()
+    monitor.watch(container)
+    monitor.start()
+
+    def grow():
+        yield sim.timeout(1.5)
+        container.allocate_state(GB)
+
+    sim.spawn(grow())
+    sim.run(until=3.5)
+    assert monitor.mean_container_memory_gb(container.id) > 1.0
+    assert monitor.peak_container_memory_gb(container.id) == \
+        pytest.approx(2.0)
+
+
+def test_monitor_service_memory_sums_replicas():
+    sim, machine, monitor = make_monitored_machine()
+    first = Container(machine, "sift", base_memory_bytes=GB)
+    second = Container(machine, "sift", base_memory_bytes=GB)
+    for container in (first, second):
+        container.start()
+        monitor.watch(container)
+    monitor.start()
+    sim.run(until=2.5)
+    assert monitor.service_memory_gb()["sift"] == pytest.approx(2.0)
+
+
+def test_monitor_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        HardwareMonitor(sim, [], interval_s=0.0)
+
+
+def test_monitor_watch_idempotent():
+    sim, machine, monitor = make_monitored_machine()
+    container = Container(machine, "x", base_memory_bytes=GB)
+    monitor.watch(container)
+    monitor.watch(container)
+    assert len(monitor.containers) == 1

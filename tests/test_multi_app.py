@@ -1,0 +1,105 @@
+"""Two independent AR applications sharing one edge testbed.
+
+§3.1 motivates containerized microservices with "multi-tenant edge
+environments": several applications, each with its own orchestration
+scope, coexist on the same machines and contend for the same GPUs.
+"""
+
+import pytest
+
+from repro.cluster.testbed import build_paper_testbed
+from repro.experiments.runner import DRAIN_S
+from repro.orchestra.orchestrator import Orchestrator
+from repro.scatter.client import ArClient
+from repro.scatter.config import PIPELINE_ORDER, uniform_config
+from repro.scatter.pipeline import ScatterPipeline
+from repro.scatterpp.pipeline import scatterpp_pipeline_kwargs
+from repro.sim import RngRegistry, Simulator
+
+DURATION_S = 15.0
+
+
+def deploy_app(testbed, rng, *, base_port, client_id, node,
+               scatterpp=False):
+    orchestrator = Orchestrator(testbed, base_port=base_port)
+    kwargs = scatterpp_pipeline_kwargs() if scatterpp else {}
+    pipeline = ScatterPipeline(testbed, orchestrator,
+                               uniform_config("E1", "e1"), **kwargs)
+    pipeline.deploy()
+    orchestrator.start()
+    client = ArClient(client_id=client_id, node=node,
+                      network=testbed.network,
+                      registry=orchestrator.registry,
+                      rng=rng.stream(f"client.{client_id}"))
+    return orchestrator, pipeline, client
+
+
+def run_two_apps(scatterpp=False):
+    sim = Simulator()
+    rng = RngRegistry(0)
+    testbed = build_paper_testbed(sim, rng, num_clients=2)
+    app_a = deploy_app(testbed, rng, base_port=6000, client_id=0,
+                       node="nuc0", scatterpp=scatterpp)
+    app_b = deploy_app(testbed, rng, base_port=7000, client_id=1,
+                       node="nuc1", scatterpp=scatterpp)
+    for __, __p, client in (app_a, app_b):
+        client.start(DURATION_S)
+    sim.run(until=DURATION_S + DRAIN_S)
+    return sim, testbed, app_a, app_b
+
+
+def test_two_apps_coexist_and_serve():
+    __, __t, app_a, app_b = run_two_apps()
+    for orchestrator, pipeline, client in (app_a, app_b):
+        assert client.stats.frames_received > 0
+        # Two stateful pipelines share E1's two GPUs: each app still
+        # serves, but contention takes a real bite.
+        assert client.stats.success_rate() > 0.2
+        # Each app has its own full pipeline.
+        for service in PIPELINE_ORDER:
+            assert len(orchestrator.instances(service)) == 1
+
+
+def test_apps_have_isolated_registries():
+    __, __t, app_a, app_b = run_two_apps()
+    orchestrator_a = app_a[0]
+    orchestrator_b = app_b[0]
+    a_sift = orchestrator_a.registry.instances("sift")
+    b_sift = orchestrator_b.registry.instances("sift")
+    assert a_sift and b_sift
+    assert set(a_sift).isdisjoint(b_sift)
+    # Results stayed within each app: client A only got its frames.
+    client_a = app_a[2]
+    assert all(n in client_a.stats.sent for n in
+               client_a.stats.received)
+
+
+def test_apps_share_hardware_books():
+    __, testbed, app_a, app_b = run_two_apps()
+    e1 = testbed.machine("e1")
+    total = sum(
+        instance.container.memory_bytes()
+        for app in (app_a, app_b)
+        for service in PIPELINE_ORDER
+        for instance in app[0].instances(service))
+    assert e1.memory.in_use_bytes == pytest.approx(total)
+    # Ten containers (two full pipelines) are resident on E1.
+    assert total > 9e9
+
+
+def test_co_tenant_app_degrades_neighbour():
+    """An app alone on E1 outperforms the same app sharing E1 with a
+    second pipeline — mutual GPU contention is real."""
+    def solo_fps():
+        sim = Simulator()
+        rng = RngRegistry(0)
+        testbed = build_paper_testbed(sim, rng, num_clients=1)
+        __, __p, client = deploy_app(testbed, rng, base_port=6000,
+                                     client_id=0, node="nuc0")
+        client.start(DURATION_S)
+        sim.run(until=DURATION_S + DRAIN_S)
+        return client.stats.fps(DURATION_S)
+
+    __, __t, app_a, app_b = run_two_apps()
+    shared_fps = app_a[2].stats.fps(DURATION_S)
+    assert shared_fps < solo_fps()

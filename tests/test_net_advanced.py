@@ -1,0 +1,154 @@
+"""Deeper network-substrate tests: fragmentation, bandwidth, ARQ."""
+
+import numpy as np
+import pytest
+
+from repro.net import Address, Network
+from repro.net.link import Link
+from repro.net.rpc import RETRANSMIT_TIMEOUT_S, reliable_path_delay
+from repro.sim import Simulator
+
+
+def make_link(**kwargs):
+    sim = Simulator()
+    defaults = dict(latency_s=0.001, bandwidth_bps=1e9,
+                    rng=np.random.default_rng(0))
+    defaults.update(kwargs)
+    return sim, Link(sim, "a", "b", **defaults)
+
+
+# ----------------------------------------------------------------------
+# Per-fragment loss
+# ----------------------------------------------------------------------
+def test_small_packet_loss_matches_configured_rate():
+    __, link = make_link(loss=0.01)
+    n = 20_000
+    dropped = sum(1 for __i in range(n)
+                  if link.transmit(100) is None)
+    assert dropped / n == pytest.approx(0.01, abs=0.005)
+
+
+def test_large_frame_loss_amplified_by_fragments():
+    """A 180 KB frame is ~123 fragments: 0.3% fragment loss becomes
+    ≈31% frame loss — the mechanism behind Fig. 11."""
+    __, link = make_link(loss=0.003)
+    n = 5_000
+    size = 180 * 1024
+    fragments = -(-size // Link.MTU_BYTES)
+    expected = 1.0 - (1.0 - 0.003) ** fragments
+    dropped = sum(1 for __i in range(n)
+                  if link.transmit(size) is None)
+    assert dropped / n == pytest.approx(expected, abs=0.03)
+
+
+def test_fragment_count_boundaries():
+    """Loss amplification steps exactly at MTU multiples."""
+    sim = Simulator()
+    rng_a = np.random.default_rng(42)
+    rng_b = np.random.default_rng(42)
+    one = Link(sim, "a", "b", latency_s=0, bandwidth_bps=1e9,
+               loss=0.05, rng=rng_a)
+    two = Link(sim, "a", "b", latency_s=0, bandwidth_bps=1e9,
+               loss=0.05, rng=rng_b)
+    n = 10_000
+    single = sum(1 for __ in range(n)
+                 if one.transmit(Link.MTU_BYTES) is None) / n
+    double = sum(1 for __ in range(n)
+                 if two.transmit(Link.MTU_BYTES + 1) is None) / n
+    assert single == pytest.approx(0.05, abs=0.01)
+    assert double == pytest.approx(1 - 0.95 ** 2, abs=0.01)
+
+
+# ----------------------------------------------------------------------
+# Bandwidth / queueing
+# ----------------------------------------------------------------------
+def test_overloaded_link_builds_queue_delay():
+    """180 KB frames at 30 FPS over 40 Mbps: serialization (≈37 ms)
+    exceeds the frame interval, so delivery delay grows frame over
+    frame — classic egress queue build-up."""
+    sim, link = make_link(latency_s=0.0, bandwidth_bps=40e6)
+    delays = []
+
+    def sender():
+        for __ in range(20):
+            delay = link.transmit(180 * 1024)
+            delays.append(delay)
+            yield sim.timeout(1 / 30)
+
+    sim.spawn(sender())
+    sim.run()
+    assert delays[0] == pytest.approx(180 * 1024 * 8 / 40e6)
+    # Strictly increasing backlog.
+    assert all(b > a for a, b in zip(delays, delays[1:]))
+    assert delays[-1] > delays[0] + 10 * (delays[0] - 1 / 30)
+
+
+def test_underloaded_link_has_constant_delay():
+    sim, link = make_link(latency_s=0.0, bandwidth_bps=1e9)
+    delays = []
+
+    def sender():
+        for __ in range(10):
+            delays.append(link.transmit(180 * 1024))
+            yield sim.timeout(1 / 30)
+
+    sim.spawn(sender())
+    sim.run()
+    assert max(delays) == pytest.approx(min(delays))
+
+
+# ----------------------------------------------------------------------
+# reliable_path_delay (the ARQ building block)
+# ----------------------------------------------------------------------
+def make_network(loss=0.0):
+    sim = Simulator()
+    net = Network(sim, rng=np.random.default_rng(0))
+    net.add_link("a", "b", rtt_s=0.002, loss=loss)
+    net.add_link("b", "c", rtt_s=0.004)
+    return sim, net
+
+
+def test_reliable_delay_clean_path_equals_datagram_delay():
+    __, net = make_network(loss=0.0)
+    delay = reliable_path_delay(net, "a", "c", size_bytes=1000)
+    # one-way a->b (1 ms) + b->c (2 ms) + serialization.
+    assert delay == pytest.approx(0.003 + 2 * 1000 * 8 / 1e9)
+
+
+def test_reliable_delay_same_node_is_zero():
+    __, net = make_network()
+    assert reliable_path_delay(net, "a", "a", size_bytes=10) == 0.0
+
+
+def test_reliable_delay_lossy_path_adds_retransmissions():
+    __, net = make_network(loss=0.5)
+    delays = [reliable_path_delay(net, "a", "b", size_bytes=1000)
+              for __ in range(300)]
+    delays = [d for d in delays if d is not None]
+    assert delays, "ARQ should almost always succeed at 50% loss"
+    base = min(delays)
+    retransmitted = [d for d in delays if d > base + 0.001]
+    assert retransmitted, "expected some retransmission penalties"
+    # Penalties are integer multiples of the retransmission timeout.
+    for delay in retransmitted[:20]:
+        multiples = (delay - base) / RETRANSMIT_TIMEOUT_S
+        assert multiples == pytest.approx(round(multiples), abs=0.05)
+
+
+def test_reliable_delay_total_loss_returns_none():
+    __, net = make_network(loss=1.0)
+    assert reliable_path_delay(net, "a", "b", size_bytes=10) is None
+
+
+# ----------------------------------------------------------------------
+# Routing cache behaviour
+# ----------------------------------------------------------------------
+def test_route_cache_invalidated_by_new_link():
+    sim = Simulator()
+    net = Network(sim, rng=np.random.default_rng(0))
+    net.add_link("a", "b", rtt_s=0.010)
+    net.add_link("b", "c", rtt_s=0.010)
+    assert net.route("a", "c") == ["a", "b", "c"]
+    # A new direct link must replace the cached two-hop route.
+    net.add_link("a", "c", rtt_s=0.002)
+    assert net.route("a", "c") == ["a", "c"]

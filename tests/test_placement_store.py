@@ -1,0 +1,194 @@
+"""Tests for the placement optimizer and the result store."""
+
+import pytest
+
+from repro.experiments.runner import (
+    run_scatter_experiment,
+    run_scatterpp_experiment,
+)
+from repro.experiments.store import (
+    ResultStore,
+    diff_results,
+    regressions,
+    summarize_result,
+)
+from repro.experiments.reporting import bar_chart, sparkline
+from repro.orchestra.placement import PlacementOptimizer
+from repro.scatter.config import PIPELINE_ORDER, baseline_configs
+
+
+# ----------------------------------------------------------------------
+# Placement optimizer
+# ----------------------------------------------------------------------
+def test_search_covers_all_assignments():
+    optimizer = PlacementOptimizer(machines=("e1", "e2"))
+    estimates = optimizer.search()
+    assert len(estimates) == 2 ** 5
+    names = {e.placement.name for e in estimates}
+    assert len(names) == 32
+
+
+def test_best_throughput_beats_single_machine_estimates():
+    optimizer = PlacementOptimizer(machines=("e1", "e2"))
+    best = optimizer.best("throughput")
+    singles = [optimizer.estimate({s: m for s in PIPELINE_ORDER})
+               for m in ("e1", "e2")]
+    for single in singles:
+        assert best.throughput_fps >= single.throughput_fps
+    # Splitting across machines gives more GPUs to spread over.
+    assert len(set(best.placement.placements[s][0]
+                   for s in PIPELINE_ORDER
+                   if s != "primary")) == 2
+
+
+def test_best_latency_avoids_hops():
+    optimizer = PlacementOptimizer(machines=("e1", "e2"))
+    best = optimizer.best("latency")
+    gpu_machines = {best.placement.placements[s][0]
+                    for s in PIPELINE_ORDER[1:]}
+    assert len(gpu_machines) == 1  # one machine = no pipeline hops
+
+
+def test_estimate_matches_simulation_ranking():
+    """The analytic model's C12-vs-C1 ranking agrees with the
+    simulator under load (scAtteR++, where throughput binds)."""
+    optimizer = PlacementOptimizer(machines=("e1", "e2"))
+    c1 = optimizer.estimate({s: "e1" for s in PIPELINE_ORDER})
+    c12 = optimizer.estimate({
+        "primary": "e1", "sift": "e1", "encoding": "e2",
+        "lsh": "e2", "matching": "e2"})
+    assert c12.throughput_fps > c1.throughput_fps
+
+    sim_c1 = run_scatterpp_experiment(baseline_configs()["C1"],
+                                      num_clients=4, duration_s=10.0)
+    sim_c12 = run_scatterpp_experiment(baseline_configs()["C12"],
+                                       num_clients=4, duration_s=10.0)
+    assert sim_c12.mean_fps() > sim_c1.mean_fps()
+
+
+def test_optimized_placement_performs_well_in_simulation():
+    optimizer = PlacementOptimizer(machines=("e1", "e2"))
+    best = optimizer.best("throughput")
+    optimized = run_scatterpp_experiment(best.placement,
+                                         num_clients=4,
+                                         duration_s=10.0)
+    reference = run_scatterpp_experiment(baseline_configs()["C1"],
+                                         num_clients=4,
+                                         duration_s=10.0)
+    assert optimized.mean_fps() >= reference.mean_fps()
+
+
+def test_optimizer_validation():
+    with pytest.raises(ValueError):
+        PlacementOptimizer(machines=())
+    with pytest.raises(ValueError):
+        PlacementOptimizer(machines=("mystery",))
+    with pytest.raises(ValueError):
+        PlacementOptimizer().best("beauty")
+
+
+# ----------------------------------------------------------------------
+# Result store
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def sample_result():
+    return run_scatter_experiment(baseline_configs()["C1"],
+                                  num_clients=1, duration_s=5.0)
+
+
+def test_summarize_result_is_json_friendly(sample_result):
+    import json
+
+    summary = summarize_result(sample_result)
+    encoded = json.dumps(summary)
+    decoded = json.loads(encoded)
+    assert decoded["config"] == "C1"
+    assert decoded["fps"] > 0
+    assert "sift" in decoded["service_latency_ms"]
+
+
+def test_store_roundtrip(tmp_path, sample_result):
+    store = ResultStore(tmp_path / "results")
+    store.save("baseline", sample_result)
+    assert store.names() == ["baseline"]
+    loaded = store.load("baseline")
+    assert loaded["clients"] == 1
+    store.delete("baseline")
+    assert store.names() == []
+    with pytest.raises(KeyError):
+        store.load("baseline")
+
+
+def test_store_rejects_bad_names(tmp_path):
+    store = ResultStore(tmp_path)
+    with pytest.raises(ValueError):
+        store.save("../escape", {})
+    with pytest.raises(ValueError):
+        store.save("", {})
+
+
+def test_diff_and_regressions(sample_result):
+    before = summarize_result(sample_result)
+    after = dict(before)
+    after["fps"] = before["fps"] * 0.5          # regression
+    after["e2e_ms"] = before["e2e_ms"] * 1.5    # regression
+    after["jitter_ms"] = before["jitter_ms"]    # unchanged
+
+    deltas = {d.metric: d for d in diff_results(before, after)}
+    assert deltas["fps"].relative == pytest.approx(-0.5)
+    assert deltas["e2e_ms"].relative == pytest.approx(0.5)
+    assert "service_latency_ms.sift" in deltas
+
+    flagged = {d.metric for d in regressions(before, after)}
+    assert "fps" in flagged
+    assert "e2e_ms" in flagged
+    assert "jitter_ms" not in flagged
+
+
+def test_regressions_quiet_for_identical_runs(sample_result):
+    summary = summarize_result(sample_result)
+    assert regressions(summary, dict(summary)) == []
+
+
+# ----------------------------------------------------------------------
+# ASCII chart helpers
+# ----------------------------------------------------------------------
+def test_sparkline_shape():
+    line = sparkline([0, 1, 2, 3, 2, 1, 0])
+    assert len(line) == 7
+    assert line[0] == "▁"
+    assert line[3] == "█"
+
+
+def test_sparkline_flat_and_empty():
+    assert sparkline([5, 5, 5]) == "▁▁▁"
+    assert sparkline([]) == ""
+
+
+def test_bar_chart_rendering():
+    chart = bar_chart([("scatter", 5.0), ("scatter++", 15.0)],
+                      width=20, unit=" fps")
+    lines = chart.splitlines()
+    assert len(lines) == 2
+    assert lines[1].count("#") == 20  # the max fills the width
+    assert lines[0].count("#") == pytest.approx(7, abs=1)
+    assert "15.00 fps" in lines[1]
+
+
+def test_bar_chart_empty():
+    assert bar_chart([]) == ""
+
+
+def test_percentile_e2e(sample_result):
+    p95 = sample_result.percentile_e2e_ms(95.0)
+    p50 = sample_result.percentile_e2e_ms(50.0)
+    assert p95 >= p50 > 0
+    assert p50 == pytest.approx(sample_result.median_e2e_ms())
+    import pytest as _pytest
+    with _pytest.raises(ValueError):
+        sample_result.percentile_e2e_ms(0.0)
+
+
+def test_summary_includes_tail_latency(sample_result):
+    summary = summarize_result(sample_result)
+    assert summary["p95_e2e_ms"] >= summary["e2e_ms"] * 0.8

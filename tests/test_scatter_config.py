@@ -1,0 +1,101 @@
+"""Unit tests for scAtteR configuration and placements."""
+
+import pytest
+
+from repro.scatter.config import (
+    PIPELINE_ORDER,
+    PlacementConfig,
+    SERVICE_MEMORY_BYTES,
+    SERVICE_TIME_S,
+    SERVICE_USES_GPU,
+    WIRE_SIZES,
+    baseline_configs,
+    cloud_config,
+    hybrid_config,
+    scaling_config,
+    split_config,
+    uniform_config,
+)
+
+
+def test_pipeline_order():
+    assert PIPELINE_ORDER == ["primary", "sift", "encoding", "lsh",
+                              "matching"]
+
+
+def test_every_service_has_constants():
+    for service in PIPELINE_ORDER:
+        assert SERVICE_TIME_S[service] > 0
+        assert SERVICE_MEMORY_BYTES[service] > 0
+        assert service in SERVICE_USES_GPU
+
+
+def test_only_primary_is_cpu_only():
+    assert not SERVICE_USES_GPU["primary"]
+    for service in PIPELINE_ORDER[1:]:
+        assert SERVICE_USES_GPU[service]
+
+
+def test_single_client_compute_budget():
+    """Per-service times sum to ≈36 ms, matching the paper's ≈40 ms
+    E2E once network hops are added (§4)."""
+    total = sum(SERVICE_TIME_S.values())
+    assert 0.030 < total < 0.042
+
+
+def test_wire_size_matches_paper():
+    assert WIRE_SIZES["primary->sift"] == 180 * 1024
+
+
+def test_baseline_configs_shapes():
+    configs = baseline_configs()
+    assert set(configs) == {"C1", "C2", "C12", "C21"}
+    assert configs["C1"].machines_used() == ["e1"]
+    assert configs["C2"].machines_used() == ["e2"]
+    assert configs["C12"].placements["primary"] == ["e1"]
+    assert configs["C12"].placements["matching"] == ["e2"]
+    assert configs["C21"].placements["primary"] == ["e2"]
+    assert configs["C21"].placements["matching"] == ["e1"]
+
+
+def test_replica_vector():
+    config = scaling_config([2, 2, 1, 1, 1])
+    assert config.replica_vector() == [2, 2, 1, 1, 1]
+    assert config.replicas("primary") == 2
+    assert config.placements["primary"] == ["e2", "e1"]
+    assert config.placements["encoding"] == ["e2"]
+
+
+def test_scaling_config_name_defaults_to_vector():
+    assert scaling_config([1, 2, 1, 1, 2]).name == "[1, 2, 1, 1, 2]"
+    assert scaling_config([1, 2, 1, 1, 2], name="X").name == "X"
+
+
+def test_scaling_config_validation():
+    with pytest.raises(ValueError):
+        scaling_config([1, 2, 3])
+    with pytest.raises(ValueError):
+        scaling_config([0, 1, 1, 1, 1])
+
+
+def test_placement_config_validation():
+    with pytest.raises(ValueError):
+        PlacementConfig("bad", {"primary": ["e1"]})
+    with pytest.raises(ValueError):
+        PlacementConfig("bad", {s: [] for s in PIPELINE_ORDER})
+
+
+def test_cloud_and_hybrid_configs():
+    assert cloud_config().machines_used() == ["cloud"]
+    hybrid = hybrid_config()
+    assert hybrid.placements["primary"] == ["e1"]
+    assert hybrid.placements["sift"] == ["cloud"]
+
+
+def test_uniform_and_split_helpers():
+    uniform = uniform_config("U", "e2")
+    assert all(machines == ["e2"]
+               for machines in uniform.placements.values())
+    split = split_config("S", "e1", "e2")
+    assert split.placements["sift"] == ["e1"]
+    assert split.placements["encoding"] == ["e2"]

@@ -1,0 +1,276 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import (
+    AnyOf,
+    Interrupt,
+    Simulator,
+    SimulationError,
+    Timeout,
+)
+
+
+def test_empty_run_returns_zero():
+    sim = Simulator()
+    assert sim.run() == 0.0
+
+
+def test_run_until_advances_clock_without_events():
+    sim = Simulator()
+    assert sim.run(until=5.0) == 5.0
+    assert sim.now == 5.0
+
+
+def test_schedule_orders_by_time():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, order.append, "b")
+    sim.schedule(1.0, order.append, "a")
+    sim.schedule(3.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for tag in ("x", "y", "z"):
+        sim.schedule(1.0, order.append, tag)
+    sim.run()
+    assert order == ["x", "y", "z"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, True)
+    sim.run(until=5.0)
+    assert fired == []
+    assert sim.now == 5.0
+    sim.run()
+    assert fired == [True]
+
+
+def test_process_timeout_sequencing():
+    sim = Simulator()
+    trace = []
+
+    def proc():
+        trace.append(("start", sim.now))
+        yield sim.timeout(1.5)
+        trace.append(("mid", sim.now))
+        yield sim.timeout(0.5)
+        trace.append(("end", sim.now))
+
+    sim.spawn(proc())
+    sim.run()
+    assert trace == [("start", 0.0), ("mid", 1.5), ("end", 2.0)]
+
+
+def test_process_return_value_via_join():
+    sim = Simulator()
+    results = []
+
+    def worker():
+        yield sim.timeout(1.0)
+        return 42
+
+    def waiter():
+        value = yield sim.spawn(worker())
+        results.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert results == [(1.0, 42)]
+
+
+def test_signal_delivers_value():
+    sim = Simulator()
+    signal = sim.signal()
+    got = []
+
+    def waiter():
+        value = yield signal
+        got.append(value)
+
+    def firer():
+        yield sim.timeout(2.0)
+        signal.fire("payload")
+
+    sim.spawn(waiter())
+    sim.spawn(firer())
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_signal_fire_twice_raises():
+    sim = Simulator()
+    signal = sim.signal()
+    signal.fire(1)
+    with pytest.raises(SimulationError):
+        signal.fire(2)
+
+
+def test_wait_on_already_fired_signal_resumes_immediately():
+    sim = Simulator()
+    signal = sim.signal()
+    signal.fire("early")
+    got = []
+
+    def waiter():
+        value = yield signal
+        got.append((sim.now, value))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [(0.0, "early")]
+
+
+def test_any_of_returns_winner():
+    sim = Simulator()
+    got = []
+
+    def waiter():
+        fast = sim.timeout(1.0, "fast")
+        slow = sim.timeout(5.0, "slow")
+        winner, value = yield sim.any_of([fast, slow])
+        got.append((sim.now, value, winner is fast))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [(1.0, "fast", True)]
+
+
+def test_any_of_empty_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        AnyOf(sim, [])
+
+
+def test_all_of_collects_values():
+    sim = Simulator()
+    got = []
+
+    def waiter():
+        values = yield sim.all_of([sim.timeout(1.0, "a"), sim.timeout(2.0, "b")])
+        got.append((sim.now, values))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [(2.0, ["a", "b"])]
+
+
+def test_interrupt_raises_in_process():
+    sim = Simulator()
+    trace = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+            trace.append("slept")
+        except Interrupt as interrupt:
+            trace.append(("interrupted", sim.now, interrupt.cause))
+
+    proc = sim.spawn(sleeper())
+
+    def interrupter():
+        yield sim.timeout(3.0)
+        proc.interrupt("wake")
+
+    sim.spawn(interrupter())
+    sim.run()
+    assert trace == [("interrupted", 3.0, "wake")]
+
+
+def test_interrupted_process_ignores_stale_wakeup():
+    sim = Simulator()
+    trace = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(5.0)
+            trace.append("timeout-fired")
+        except Interrupt:
+            trace.append("interrupted")
+            yield sim.timeout(10.0)
+            trace.append("second-sleep-done")
+
+    proc = sim.spawn(sleeper())
+    sim.schedule(1.0, proc.interrupt, None)
+    sim.run()
+    # The original 5 s timeout must not resume the process spuriously.
+    assert trace == ["interrupted", "second-sleep-done"]
+    assert sim.now == 11.0
+
+
+def test_unhandled_interrupt_terminates_process():
+    sim = Simulator()
+
+    def sleeper():
+        yield sim.timeout(100.0)
+
+    proc = sim.spawn(sleeper())
+    sim.schedule(1.0, proc.interrupt, "bye")
+    sim.run()
+    assert proc.fired
+    assert proc.value == "bye"
+
+
+def test_interrupt_after_death_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(1.0)
+
+    proc = sim.spawn(quick())
+    sim.run()
+    proc.interrupt("late")
+    sim.run()
+    assert proc.value is None
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Timeout(sim, -1.0)
+
+
+def test_nested_process_spawning():
+    sim = Simulator()
+    order = []
+
+    def child(tag, delay):
+        yield sim.timeout(delay)
+        order.append(tag)
+        return tag
+
+    def parent():
+        first = yield sim.spawn(child("one", 1.0))
+        second = yield sim.spawn(child("two", 1.0))
+        order.append((first, second, sim.now))
+
+    sim.spawn(parent())
+    sim.run()
+    assert order == ["one", "two", ("one", "two", 2.0)]
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def evil():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(str(exc))
+
+    sim.schedule(1.0, evil)
+    sim.run()
+    assert errors and "re-entrant" in errors[0]

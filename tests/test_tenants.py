@@ -1,0 +1,81 @@
+"""Tests for background co-tenants."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.gpu import RTX_2080, GpuDevice
+from repro.cluster.machine import Machine
+from repro.cluster.tenants import BackgroundTenant
+from repro.sim import Simulator
+
+
+def test_tenant_occupies_gpu_on_duty_cycle():
+    sim = Simulator()
+    gpu = GpuDevice(sim, RTX_2080)
+    tenant = BackgroundTenant(sim, gpu=gpu, duty_cycle=0.5,
+                              period_s=0.1, intensity=1.0,
+                              rng=np.random.default_rng(0))
+    tenant.start()
+    sim.run(until=5.0)
+    assert tenant.kernels_run > 20
+    # Utilization lands near the configured duty cycle.
+    assert gpu.meter.utilization() == pytest.approx(0.5, abs=0.12)
+
+
+def test_tenant_slows_co_located_work():
+    def run(duty):
+        sim = Simulator()
+        gpu = GpuDevice(sim, RTX_2080)
+        tenant = BackgroundTenant(sim, gpu=gpu, duty_cycle=duty,
+                                  period_s=0.05,
+                                  rng=np.random.default_rng(1))
+        tenant.start()
+        done = []
+
+        def work():
+            for __ in range(50):
+                yield from gpu.execute(0.005)
+            done.append(sim.now)
+
+        sim.spawn(work())
+        sim.run(until=60.0)
+        return done[0]
+
+    assert run(0.5) > run(0.0) * 1.3
+
+
+def test_tenant_on_cpu():
+    sim = Simulator()
+    machine = Machine(sim, "m", cpu_cores=2, memory_gb=8)
+    tenant = BackgroundTenant(sim, machine=machine, duty_cycle=0.3,
+                              period_s=0.1,
+                              rng=np.random.default_rng(2))
+    tenant.start()
+    sim.run(until=3.0)
+    assert tenant.kernels_run > 0
+    # One of two cores busy 30% of the time => ~15% machine CPU.
+    assert machine.cpu_utilization() == pytest.approx(0.15, abs=0.05)
+
+
+def test_zero_duty_tenant_is_inert():
+    sim = Simulator()
+    gpu = GpuDevice(sim, RTX_2080)
+    tenant = BackgroundTenant(sim, gpu=gpu, duty_cycle=0.0)
+    tenant.start()
+    sim.run(until=1.0)
+    assert tenant.kernels_run == 0
+    assert gpu.meter.utilization() == 0.0
+
+
+def test_tenant_validation():
+    sim = Simulator()
+    gpu = GpuDevice(sim, RTX_2080)
+    machine = Machine(sim, "m", cpu_cores=1, memory_gb=1)
+    with pytest.raises(ValueError):
+        BackgroundTenant(sim)  # neither
+    with pytest.raises(ValueError):
+        BackgroundTenant(sim, gpu=gpu, machine=machine)  # both
+    with pytest.raises(ValueError):
+        BackgroundTenant(sim, gpu=gpu, duty_cycle=1.0)
+    with pytest.raises(ValueError):
+        BackgroundTenant(sim, gpu=gpu, period_s=0.0)

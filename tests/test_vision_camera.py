@@ -1,0 +1,132 @@
+"""Tests for camera intrinsics and homography decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.vision.camera import (
+    CameraIntrinsics,
+    decompose_homography,
+    homography_from_pose,
+    rotation_about,
+)
+
+
+@pytest.fixture
+def intrinsics():
+    return CameraIntrinsics.for_image((144, 192), fov_degrees=60.0)
+
+
+def test_intrinsics_matrix_shape(intrinsics):
+    k = intrinsics.matrix
+    assert k.shape == (3, 3)
+    assert k[0, 2] == 96.0
+    assert k[1, 2] == 72.0
+    assert k[0, 0] == pytest.approx(192 / 2 / np.tan(np.radians(30)))
+
+
+def test_intrinsics_validation():
+    with pytest.raises(ValueError):
+        CameraIntrinsics(fx=0, fy=1, cx=0, cy=0)
+    with pytest.raises(ValueError):
+        CameraIntrinsics.for_image((10, 10), fov_degrees=0.0)
+
+
+def pose_roundtrip(intrinsics, rotation, translation):
+    homography = homography_from_pose(rotation, translation,
+                                      intrinsics)
+    return decompose_homography(homography, intrinsics)
+
+
+def test_identity_pose_roundtrip(intrinsics):
+    translation = np.array([0.0, 0.0, 5.0])
+    pose = pose_roundtrip(intrinsics, np.eye(3), translation)
+    assert np.allclose(pose.rotation, np.eye(3), atol=1e-9)
+    assert np.allclose(pose.translation, translation, atol=1e-9)
+    assert pose.distance == pytest.approx(5.0)
+
+
+@pytest.mark.parametrize("axis,angle", [
+    ("x", 15.0), ("y", -20.0), ("z", 30.0), ("y", 5.0),
+])
+def test_rotated_pose_roundtrip(intrinsics, axis, angle):
+    rotation = rotation_about(axis, angle)
+    translation = np.array([1.0, -2.0, 8.0])
+    pose = pose_roundtrip(intrinsics, rotation, translation)
+    assert np.allclose(pose.rotation, rotation, atol=1e-8)
+    assert np.allclose(pose.translation, translation, atol=1e-8)
+
+
+def test_combined_rotation_roundtrip(intrinsics):
+    rotation = (rotation_about("z", 25.0) @ rotation_about("x", 10.0)
+                @ rotation_about("y", -15.0))
+    translation = np.array([0.5, 0.3, 4.0])
+    pose = pose_roundtrip(intrinsics, rotation, translation)
+    assert np.allclose(pose.rotation, rotation, atol=1e-8)
+
+
+def test_scaled_homography_same_pose(intrinsics):
+    """Homographies are projective: scale must not change the pose."""
+    rotation = rotation_about("y", 12.0)
+    translation = np.array([0.0, 1.0, 6.0])
+    homography = homography_from_pose(rotation, translation,
+                                      intrinsics)
+    pose_a = decompose_homography(homography, intrinsics)
+    pose_b = decompose_homography(3.7 * homography, intrinsics)
+    assert np.allclose(pose_a.rotation, pose_b.rotation, atol=1e-8)
+    assert np.allclose(pose_a.translation, pose_b.translation,
+                       atol=1e-8)
+
+
+def test_sign_ambiguity_resolved_to_front(intrinsics):
+    rotation = np.eye(3)
+    translation = np.array([0.0, 0.0, 3.0])
+    homography = homography_from_pose(rotation, translation,
+                                      intrinsics)
+    pose = decompose_homography(-homography, intrinsics)
+    assert pose.translation[2] > 0
+
+
+def test_euler_angles(intrinsics):
+    pose = pose_roundtrip(intrinsics, rotation_about("z", 40.0),
+                          np.array([0.0, 0.0, 2.0]))
+    yaw, pitch, roll = pose.yaw_pitch_roll_degrees
+    assert yaw == pytest.approx(40.0, abs=1e-6)
+    assert pitch == pytest.approx(0.0, abs=1e-6)
+    assert roll == pytest.approx(0.0, abs=1e-6)
+
+
+def test_decompose_validation(intrinsics):
+    with pytest.raises(ValueError):
+        decompose_homography(np.eye(4), intrinsics)
+    with pytest.raises(ValueError):
+        decompose_homography(np.zeros((3, 3)), intrinsics)
+    with pytest.raises(ValueError):
+        homography_from_pose(np.eye(3), np.zeros(2), intrinsics)
+    with pytest.raises(ValueError):
+        rotation_about("w", 10.0)
+
+
+def test_estimated_homography_decomposes_sanely(intrinsics):
+    """End to end: RANSAC homography from noisy correspondences still
+    decomposes to approximately the true pose."""
+    from repro.vision.pose import estimate_homography_ransac
+
+    rng = np.random.default_rng(0)
+    rotation = rotation_about("y", 10.0) @ rotation_about("x", 5.0)
+    translation = np.array([0.2, -0.1, 6.0])
+    true_h = homography_from_pose(rotation, translation, intrinsics)
+
+    src = rng.uniform(-2.0, 2.0, (40, 2))
+    homogeneous = np.hstack([src, np.ones((40, 1))])
+    projected = homogeneous @ true_h.T
+    dst = projected[:, :2] / projected[:, 2:3]
+    dst += rng.normal(0.0, 0.2, dst.shape)  # pixel noise
+
+    result = estimate_homography_ransac(src, dst, threshold=1.0,
+                                        seed=0)
+    assert result is not None
+    pose = decompose_homography(result.matrix, intrinsics)
+    # Rotation recovered within a few degrees.
+    error = np.degrees(np.arccos(np.clip(
+        (np.trace(pose.rotation.T @ rotation) - 1) / 2, -1, 1)))
+    assert error < 5.0

@@ -1,0 +1,137 @@
+"""Unit tests for the synthetic dataset and replay video."""
+
+import numpy as np
+import pytest
+
+from repro.vision.dataset import WorkplaceDataset
+from repro.vision.sift import SiftExtractor
+from repro.vision.video import (
+    FRAME_WIRE_BYTES,
+    FRAME_WIRE_BYTES_STATEFUL,
+    SyntheticVideo,
+)
+
+
+def test_dataset_has_three_objects():
+    dataset = WorkplaceDataset(seed=0)
+    assert dataset.names() == ["keyboard", "monitor", "table"]
+    for name in dataset.names():
+        image = dataset.objects[name].image
+        assert image.ndim == 2
+        assert 0.0 <= image.min() and image.max() <= 1.0
+
+
+def test_dataset_deterministic_by_seed():
+    a = WorkplaceDataset(seed=7)
+    b = WorkplaceDataset(seed=7)
+    c = WorkplaceDataset(seed=8)
+    assert np.array_equal(a.objects["monitor"].image,
+                          b.objects["monitor"].image)
+    assert not np.array_equal(a.objects["monitor"].image,
+                              c.objects["monitor"].image)
+
+
+def test_objects_are_feature_rich():
+    dataset = WorkplaceDataset(seed=0)
+    extractor = SiftExtractor(contrast_threshold=0.02)
+    dataset.extract_all_features(extractor)
+    for name in dataset.names():
+        reference = dataset.objects[name]
+        assert len(reference.keypoints) >= 5, (
+            f"{name} produced too few keypoints to be recognizable")
+        assert reference.descriptors.shape == (len(reference.keypoints), 128)
+        assert reference.keypoint_coordinates.shape[1] == 2
+
+
+def test_render_scene_contains_objects():
+    dataset = WorkplaceDataset(seed=0)
+    frame, ground_truth = dataset.render_scene(size=(120, 160))
+    assert frame.shape == (120, 160)
+    assert {placement.name for placement in ground_truth} == \
+        {"monitor", "keyboard", "table"}
+    # Objects introduce contrast beyond background noise.
+    assert frame.std() > 0.05
+
+
+def test_render_scene_camera_offset_moves_objects():
+    dataset = WorkplaceDataset(seed=0)
+    __, still = dataset.render_scene(size=(120, 160))
+    __, shifted = dataset.render_scene(size=(120, 160),
+                                       camera_offset=(10.0, 5.0))
+    for a, b in zip(still, shifted):
+        assert np.allclose(b.corners - a.corners, [10.0, 5.0])
+
+
+def test_render_scene_custom_placement():
+    dataset = WorkplaceDataset(seed=0)
+    placement = np.array([[1.0, 0.0, 30.0], [0.0, 1.0, 40.0]])
+    __, ground_truth = dataset.render_scene(
+        placements={"monitor": placement})
+    monitor = next(p for p in ground_truth if p.name == "monitor")
+    assert np.allclose(monitor.corners[0], [30.0, 40.0])
+
+
+def test_render_scene_rejects_bad_placement():
+    dataset = WorkplaceDataset(seed=0)
+    with pytest.raises(ValueError):
+        dataset.render_scene(placements={"monitor": np.eye(3)})
+
+
+def test_render_scene_object_offscreen_is_ok():
+    dataset = WorkplaceDataset(seed=0)
+    placement = np.array([[1.0, 0.0, 500.0], [0.0, 1.0, 500.0]])
+    frame, __ = dataset.render_scene(size=(60, 80),
+                                     placements={"monitor": placement})
+    assert frame.shape == (60, 80)
+
+
+def test_unknown_object_kind_rejected():
+    with pytest.raises(ValueError):
+        WorkplaceDataset(sizes={"plant": (10, 10)})
+
+
+def test_video_frame_count_and_interval():
+    video = SyntheticVideo(duration_s=10.0, fps=30.0)
+    assert video.num_frames == 300
+    assert video.frame_interval_s == pytest.approx(1 / 30)
+
+
+def test_video_frames_deterministic_and_cached():
+    video = SyntheticVideo(size=(60, 80), seed=3)
+    first = video.frame(5)
+    second = video.frame(5)
+    assert first is second  # cache hit
+    other = SyntheticVideo(size=(60, 80), seed=3).frame(5)
+    assert np.array_equal(first.image, other.image)
+
+
+def test_video_wraps_around():
+    video = SyntheticVideo(size=(60, 80))
+    assert video.frame(video.num_frames) is video.frame(0)
+
+
+def test_video_camera_motion_changes_frames():
+    video = SyntheticVideo(size=(60, 80), seed=0)
+    a = video.frame(0)
+    b = video.frame(75)  # quarter period: maximal pan
+    assert not np.array_equal(a.image, b.image)
+    assert a.timestamp_s == 0.0
+    assert b.timestamp_s == pytest.approx(2.5)
+
+
+def test_video_ground_truth_present():
+    video = SyntheticVideo(size=(60, 80))
+    frame = video.frame(0)
+    assert len(frame.ground_truth) == 3
+
+
+def test_video_validation():
+    with pytest.raises(ValueError):
+        SyntheticVideo(duration_s=0)
+    with pytest.raises(ValueError):
+        SyntheticVideo(fps=0)
+
+
+def test_paper_wire_sizes():
+    assert FRAME_WIRE_BYTES == 180 * 1024
+    assert FRAME_WIRE_BYTES_STATEFUL == 480 * 1024

@@ -1,0 +1,180 @@
+"""Unit tests for FAST corners and BRIEF binary descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.vision.fast_features import (
+    BriefDescriptor,
+    detect_fast,
+    hamming_distance,
+    match_binary,
+)
+
+
+def corner_image(size=48):
+    """A bright square on a dark background: four crisp corners."""
+    image = np.full((size, size), 0.1)
+    image[12:36, 12:36] = 0.9
+    return image
+
+
+def test_fast_detects_square_corners():
+    keypoints = detect_fast(corner_image(), threshold=0.2)
+    assert keypoints, "no corners on a literal square"
+    found = {(kp.x, kp.y) for kp in keypoints}
+    expected = [(12, 12), (35, 12), (12, 35), (35, 35)]
+    for ex, ey in expected:
+        assert any(abs(x - ex) <= 2 and abs(y - ey) <= 2
+                   for x, y in found), (ex, ey)
+
+
+def test_fast_flat_image_no_corners():
+    assert detect_fast(np.full((32, 32), 0.5)) == []
+
+
+def test_fast_straight_edge_is_not_a_corner():
+    image = np.full((32, 32), 0.1)
+    image[:, 16:] = 0.9  # a vertical edge, no corners
+    keypoints = detect_fast(image, threshold=0.2, arc_length=12)
+    assert keypoints == []
+
+
+def test_fast_max_keypoints_and_ordering():
+    rng = np.random.default_rng(0)
+    image = rng.random((64, 64))
+    keypoints = detect_fast(image, threshold=0.05, max_keypoints=10)
+    assert len(keypoints) <= 10
+    scores = [kp.score for kp in keypoints]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_fast_nms_spreads_keypoints():
+    keypoints = detect_fast(corner_image(), threshold=0.2, nms_radius=3)
+    for i, a in enumerate(keypoints):
+        for b in keypoints[i + 1:]:
+            assert max(abs(a.x - b.x), abs(a.y - b.y)) > 1
+
+
+def test_fast_validation():
+    with pytest.raises(ValueError):
+        detect_fast(np.zeros((4, 4, 3)))
+    with pytest.raises(ValueError):
+        detect_fast(np.zeros((32, 32)), arc_length=0)
+    assert detect_fast(np.zeros((5, 5))) == []
+
+
+def test_brief_shapes_and_determinism():
+    image = corner_image()
+    keypoints = detect_fast(image, threshold=0.2)
+    brief = BriefDescriptor(n_bits=128, seed=1)
+    first = brief.describe(image, keypoints)
+    second = brief.describe(image, keypoints)
+    assert first.shape == (len(keypoints), 16)
+    assert first.dtype == np.uint8
+    assert np.array_equal(first, second)
+
+
+def test_brief_empty_keypoints():
+    brief = BriefDescriptor()
+    descriptors = brief.describe(corner_image(), [])
+    assert descriptors.shape == (0, 32)
+
+
+def test_brief_validation():
+    with pytest.raises(ValueError):
+        BriefDescriptor(n_bits=100)
+    with pytest.raises(ValueError):
+        BriefDescriptor(patch_size=16)
+
+
+def test_brief_descriptors_match_across_translation():
+    rng = np.random.default_rng(2)
+    texture = rng.random((40, 40))
+    big_a = np.full((80, 80), 0.5)
+    big_b = np.full((80, 80), 0.5)
+    big_a[10:50, 10:50] = texture
+    big_b[20:60, 25:65] = texture  # shifted by (15, 10)
+
+    kp_a = detect_fast(big_a, threshold=0.1, max_keypoints=60)
+    kp_b = detect_fast(big_b, threshold=0.1, max_keypoints=60)
+    brief = BriefDescriptor(seed=0)
+    desc_a = brief.describe(big_a, kp_a)
+    desc_b = brief.describe(big_b, kp_b)
+    matches = match_binary(desc_a, desc_b, ratio=0.95)
+    assert len(matches) >= 5
+    # Most matches agree with the (dx, dy) = (15, 10) translation.
+    good = 0
+    for match in matches:
+        a = kp_a[match.query_index]
+        b = kp_b[match.reference_index]
+        if abs((b.x - a.x) - 15) <= 2 and abs((b.y - a.y) - 10) <= 2:
+            good += 1
+    assert good >= len(matches) // 2
+
+
+def test_hamming_distance_basic():
+    a = np.array([[0b00000000], [0b11111111]], dtype=np.uint8)
+    b = np.array([[0b00001111]], dtype=np.uint8)
+    distances = hamming_distance(a, b)
+    assert distances.tolist() == [[4], [4]]
+    assert hamming_distance(a, a).tolist() == [[0, 8], [8, 0]]
+
+
+def test_hamming_validation():
+    with pytest.raises(ValueError):
+        hamming_distance(np.zeros((1, 2), dtype=np.uint8),
+                         np.zeros((1, 3), dtype=np.uint8))
+
+
+def test_match_binary_identical_sets():
+    rng = np.random.default_rng(3)
+    descriptors = rng.integers(0, 256, (10, 32)).astype(np.uint8)
+    matches = match_binary(descriptors, descriptors, ratio=0.99)
+    assert len(matches) == 10
+    assert all(m.distance == 0 for m in matches)
+    assert all(m.query_index == m.reference_index for m in matches)
+
+
+def test_match_binary_max_distance_filter():
+    a = np.zeros((1, 4), dtype=np.uint8)
+    b = np.full((1, 4), 255, dtype=np.uint8)  # 32 bits apart
+    assert match_binary(a, b, max_distance=10) == []
+    assert len(match_binary(a, b, max_distance=32)) == 1
+
+
+def test_match_binary_empty():
+    empty = np.zeros((0, 4), dtype=np.uint8)
+    full = np.zeros((2, 4), dtype=np.uint8)
+    assert match_binary(empty, full) == []
+    assert match_binary(full, empty) == []
+
+
+def test_fast_brief_is_cheaper_than_sift():
+    """The whole point (§5): the fast model costs far less per frame."""
+    import time
+
+    from repro.vision.sift import SiftExtractor
+    from repro.vision.video import SyntheticVideo
+
+    frame = SyntheticVideo(seed=0).frame(0).image
+    sift = SiftExtractor(contrast_threshold=0.01, max_keypoints=300)
+    brief = BriefDescriptor(seed=0)
+
+    def run_sift():
+        sift.detect_and_describe(frame)
+
+    def run_fast():
+        keypoints = detect_fast(frame, threshold=0.08,
+                                max_keypoints=300)
+        brief.describe(frame, keypoints)
+
+    def best_of(fn, repeats=3):
+        fn()  # warm-up (allocator, caches)
+        times = []
+        for __ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - start)
+        return min(times)
+
+    assert best_of(run_fast) < best_of(run_sift)

@@ -1,0 +1,202 @@
+"""Unit tests for LSH, matching and pose estimation."""
+
+import numpy as np
+import pytest
+
+from repro.vision.lsh import LshIndex
+from repro.vision.matching import match_descriptors
+from repro.vision.pose import (
+    estimate_homography_dlt,
+    estimate_homography_ransac,
+    project_corners,
+)
+
+
+# ----------------------------------------------------------------------
+# LSH
+# ----------------------------------------------------------------------
+def test_lsh_exact_query_finds_itself():
+    rng = np.random.default_rng(0)
+    index = LshIndex(dimension=32, seed=0)
+    vectors = {f"object{i}": rng.normal(0, 1, 32) for i in range(10)}
+    for key, vector in vectors.items():
+        index.insert(key, vector)
+    for key, vector in vectors.items():
+        matches = index.query(vector, k=1)
+        assert matches and matches[0].key == key
+        assert matches[0].similarity == pytest.approx(1.0)
+
+
+def test_lsh_near_query_ranks_nearest_first():
+    rng = np.random.default_rng(1)
+    index = LshIndex(dimension=64, n_tables=6, n_bits=8, seed=1)
+    target = rng.normal(0, 1, 64)
+    index.insert("target", target)
+    for i in range(20):
+        index.insert(f"noise{i}", rng.normal(0, 1, 64))
+    noisy = target + rng.normal(0, 0.05, 64)
+    matches = index.query(noisy, k=3)
+    assert matches[0].key == "target"
+
+
+def test_lsh_reinsert_replaces():
+    index = LshIndex(dimension=4, seed=0)
+    index.insert("a", np.array([1.0, 0, 0, 0]))
+    index.insert("a", np.array([0.0, 1, 0, 0]))
+    assert len(index) == 1
+    matches = index.query(np.array([0.0, 1, 0, 0]), k=1)
+    assert matches[0].similarity == pytest.approx(1.0)
+
+
+def test_lsh_remove():
+    index = LshIndex(dimension=4, seed=0)
+    index.insert("a", np.array([1.0, 0, 0, 0]))
+    index.remove("a")
+    assert len(index) == 0
+    assert index.query(np.array([1.0, 0, 0, 0]), k=1) == []
+    index.remove("ghost")  # no-op
+
+
+def test_lsh_zero_query_returns_empty():
+    index = LshIndex(dimension=4, seed=0)
+    index.insert("a", np.ones(4))
+    assert index.query(np.zeros(4)) == []
+
+
+def test_lsh_min_similarity_filter():
+    index = LshIndex(dimension=4, n_tables=8, n_bits=2, seed=0)
+    index.insert("pos", np.array([1.0, 0, 0, 0]))
+    index.insert("neg", np.array([-1.0, 0, 0, 0]))
+    matches = index.query(np.array([1.0, 0, 0, 0]), k=5,
+                          min_similarity=0.0)
+    assert [m.key for m in matches] == ["pos"]
+
+
+def test_lsh_validation():
+    with pytest.raises(ValueError):
+        LshIndex(dimension=0)
+    with pytest.raises(ValueError):
+        LshIndex(dimension=4, n_tables=0)
+    index = LshIndex(dimension=4)
+    with pytest.raises(ValueError):
+        index.insert("bad", np.zeros(5))
+
+
+# ----------------------------------------------------------------------
+# Matching
+# ----------------------------------------------------------------------
+def test_match_identical_descriptors():
+    rng = np.random.default_rng(0)
+    reference = rng.normal(0, 1, (10, 16))
+    matches = match_descriptors(reference, reference, ratio=0.9)
+    assert len(matches) == 10
+    for match in matches:
+        assert match.query_index == match.reference_index
+        assert match.distance == pytest.approx(0.0, abs=1e-6)
+
+
+def test_ratio_test_rejects_ambiguous():
+    # Two nearly identical reference descriptors: the ratio test must
+    # reject matches that cannot discriminate between them.
+    reference = np.array([[1.0, 0.0], [1.0, 0.001]])
+    query = np.array([[1.0, 0.0005]])
+    assert match_descriptors(query, reference, ratio=0.8) == []
+
+
+def test_max_distance_cap():
+    reference = np.array([[0.0, 0.0]])
+    query = np.array([[10.0, 0.0]])
+    assert match_descriptors(query, reference, max_distance=5.0) == []
+    assert len(match_descriptors(query, reference,
+                                 max_distance=20.0)) == 1
+
+
+def test_empty_inputs():
+    assert match_descriptors(np.empty((0, 8)), np.ones((3, 8))) == []
+    assert match_descriptors(np.ones((3, 8)), np.empty((0, 8))) == []
+
+
+def test_match_validation():
+    with pytest.raises(ValueError):
+        match_descriptors(np.ones((2, 4)), np.ones((2, 5)))
+    with pytest.raises(ValueError):
+        match_descriptors(np.ones((2, 4)), np.ones((2, 4)), ratio=0.0)
+
+
+# ----------------------------------------------------------------------
+# Pose
+# ----------------------------------------------------------------------
+def square_points():
+    return np.array([[0.0, 0.0], [10.0, 0.0], [10.0, 10.0], [0.0, 10.0],
+                     [5.0, 3.0], [2.0, 8.0], [7.0, 6.0], [1.0, 4.0]])
+
+
+def affine_map(points, *, scale=2.0, angle=0.3, tx=5.0, ty=-2.0):
+    rotation = np.array([[np.cos(angle), -np.sin(angle)],
+                         [np.sin(angle), np.cos(angle)]])
+    return points @ (scale * rotation).T + np.array([tx, ty])
+
+
+def test_dlt_recovers_affine_homography():
+    src = square_points()
+    dst = affine_map(src)
+    matrix = estimate_homography_dlt(src, dst)
+    assert matrix is not None
+    mapped = np.hstack([src, np.ones((len(src), 1))]) @ matrix.T
+    mapped = mapped[:, :2] / mapped[:, 2:3]
+    assert np.allclose(mapped, dst, atol=1e-6)
+
+
+def test_dlt_degenerate_collinear_returns_none():
+    src = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+    dst = src * 2.0
+    assert estimate_homography_dlt(src, dst) is None
+
+
+def test_dlt_validation():
+    with pytest.raises(ValueError):
+        estimate_homography_dlt(np.zeros((3, 2)), np.zeros((3, 2)))
+    with pytest.raises(ValueError):
+        estimate_homography_dlt(np.zeros((4, 2)), np.zeros((5, 2)))
+
+
+def test_ransac_tolerates_outliers():
+    rng = np.random.default_rng(0)
+    src = rng.uniform(0, 50, (40, 2))
+    dst = affine_map(src)
+    # Corrupt 30% of the correspondences.
+    corrupt = rng.choice(40, size=12, replace=False)
+    dst_noisy = dst.copy()
+    dst_noisy[corrupt] += rng.uniform(30, 60, (12, 2))
+    result = estimate_homography_ransac(src, dst_noisy, threshold=2.0,
+                                        seed=0)
+    assert result is not None
+    assert result.num_inliers >= 28
+    assert not result.inliers[corrupt].any()
+    assert result.mean_error < 1.0
+
+
+def test_ransac_returns_none_without_consensus():
+    rng = np.random.default_rng(1)
+    src = rng.uniform(0, 50, (20, 2))
+    dst = rng.uniform(0, 50, (20, 2))
+    result = estimate_homography_ransac(src, dst, threshold=0.5,
+                                        min_inliers=10, seed=0)
+    assert result is None
+
+
+def test_ransac_too_few_points():
+    assert estimate_homography_ransac(np.zeros((3, 2)),
+                                      np.zeros((3, 2))) is None
+
+
+def test_project_corners_identity():
+    corners = project_corners(np.eye(3), (10, 20))
+    expected = np.array([[0, 0], [19, 0], [19, 9], [0, 9]], dtype=float)
+    assert np.allclose(corners, expected)
+
+
+def test_project_corners_translation():
+    matrix = np.array([[1.0, 0, 5], [0, 1.0, 7], [0, 0, 1.0]])
+    corners = project_corners(matrix, (4, 4))
+    assert np.allclose(corners[0], [5, 7])

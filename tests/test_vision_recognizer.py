@@ -1,0 +1,93 @@
+"""Integration tests: the full CV pipeline recognizes rendered scenes."""
+
+import numpy as np
+import pytest
+
+from repro.vision.dataset import WorkplaceDataset
+from repro.vision.recognizer import ObjectRecognizer, RecognizerTrainer
+from repro.vision.sift import SiftExtractor
+from repro.vision.video import SyntheticVideo
+
+
+@pytest.fixture(scope="module")
+def recognizer():
+    dataset = WorkplaceDataset(seed=0)
+    extractor = SiftExtractor(contrast_threshold=0.01, max_keypoints=300)
+    return RecognizerTrainer(seed=0).train(dataset, extractor)
+
+
+@pytest.fixture(scope="module")
+def video():
+    return SyntheticVideo(seed=0)
+
+
+def test_training_builds_all_components(recognizer):
+    assert recognizer.pca.fitted
+    assert recognizer.encoder.gmm.fitted
+    assert len(recognizer.index) == 3
+
+
+def test_recognizes_objects_in_scene(recognizer, video):
+    frame = video.frame(0)
+    result = recognizer.process_frame(frame.image)
+    assert result.num_keypoints > 20
+    names = {r.name for r in result.recognitions}
+    assert len(names) >= 2, f"only recognized {names}"
+    for recognition in result.recognitions:
+        assert recognition.num_inliers >= recognizer.min_inliers
+        assert recognition.corners.shape == (4, 2)
+
+
+def test_bounding_boxes_near_ground_truth(recognizer, video):
+    frame = video.frame(0)
+    result = recognizer.process_frame(frame.image)
+    truth = {placement.name: placement
+             for placement in frame.ground_truth}
+    for recognition in result.recognitions:
+        expected = truth[recognition.name].corners
+        # Compare box centres: recognition should localize the object.
+        found_centre = recognition.corners.mean(axis=0)
+        expected_centre = expected.mean(axis=0)
+        distance = np.linalg.norm(found_centre - expected_centre)
+        assert distance < 15.0, (
+            f"{recognition.name} localized {distance:.1f} px off")
+
+
+def test_recognition_across_camera_motion(recognizer, video):
+    """Most frames of the pan recognize at least one object."""
+    recognized_frames = 0
+    probes = [0, 60, 120, 180, 240]
+    for index in probes:
+        result = recognizer.process_frame(video.frame(index).image)
+        if result.recognitions:
+            recognized_frames += 1
+    assert recognized_frames >= 4
+
+
+def test_empty_frame_recognizes_nothing(recognizer):
+    result = recognizer.process_frame(np.full((144, 192), 0.5))
+    assert result.recognitions == ()
+    assert result.num_keypoints == 0
+
+
+def test_preprocess_resizes_when_configured(recognizer):
+    scaled = ObjectRecognizer(
+        dataset=recognizer.dataset, extractor=recognizer.extractor,
+        pca=recognizer.pca, encoder=recognizer.encoder,
+        index=recognizer.index, working_size=(72, 96))
+    gray = scaled.preprocess(np.zeros((144, 192, 3)))
+    assert gray.shape == (72, 96)
+
+
+def test_encode_empty_descriptor_set(recognizer):
+    fisher = recognizer.encode(np.empty((0, 128)))
+    assert fisher.shape == (recognizer.encoder.dimension,)
+    assert np.all(fisher == 0.0)
+
+
+def test_trainer_rejects_featureless_dataset():
+    dataset = WorkplaceDataset(seed=0)
+    # An extractor with an absurd threshold finds nothing.
+    extractor = SiftExtractor(contrast_threshold=0.9)
+    with pytest.raises(ValueError):
+        RecognizerTrainer().train(dataset, extractor)

@@ -1,0 +1,106 @@
+"""Unit tests for the SIFT extractor."""
+
+import numpy as np
+import pytest
+
+from repro.vision.sift import SiftExtractor
+
+
+def blob_image(size=64, centres=((20, 20), (44, 40)), radius=4.0):
+    """Bright Gaussian blobs on a dark background — ideal DoG bait."""
+    ys, xs = np.mgrid[:size, :size].astype(float)
+    image = np.zeros((size, size))
+    for cy, cx in centres:
+        image += np.exp(-((ys - cy) ** 2 + (xs - cx) ** 2)
+                        / (2 * radius ** 2))
+    return np.clip(image, 0.0, 1.0)
+
+
+def test_detects_blobs_near_centres():
+    image = blob_image()
+    extractor = SiftExtractor(contrast_threshold=0.01)
+    keypoints, __ = extractor.detect(image)
+    assert keypoints, "no keypoints found on an easy image"
+    centres = np.array([[20, 20], [44, 40]], dtype=float)
+    found = np.array([[kp.y, kp.x] for kp in keypoints])
+    for centre in centres:
+        distances = np.linalg.norm(found - centre, axis=1)
+        assert distances.min() < 4.0, (
+            f"no keypoint within 4 px of blob at {centre}")
+
+
+def test_flat_image_has_no_keypoints():
+    extractor = SiftExtractor()
+    keypoints, __ = extractor.detect(np.full((64, 64), 0.5))
+    assert keypoints == []
+
+
+def test_max_keypoints_cap():
+    rng = np.random.default_rng(0)
+    image = rng.random((96, 96))
+    extractor = SiftExtractor(contrast_threshold=0.005, max_keypoints=10)
+    keypoints, __ = extractor.detect(image)
+    assert len(keypoints) <= 10
+    # Kept keypoints are the strongest responses, sorted descending.
+    responses = [kp.response for kp in keypoints]
+    assert responses == sorted(responses, reverse=True)
+
+
+def test_descriptors_shape_and_norm():
+    image = blob_image()
+    extractor = SiftExtractor(contrast_threshold=0.01)
+    keypoints, descriptors = extractor.detect_and_describe(image)
+    assert descriptors.shape == (len(keypoints), 128)
+    norms = np.linalg.norm(descriptors, axis=1)
+    # Unit-normalized (or zero for degenerate patches).
+    for norm in norms:
+        assert norm == pytest.approx(1.0, abs=1e-6) or norm < 1e-6
+
+
+def test_descriptor_translation_invariance():
+    """The same blob shifted in the frame gives a near-identical descriptor."""
+    extractor = SiftExtractor(contrast_threshold=0.01, max_keypoints=1)
+    image_a = blob_image(centres=((24, 24),))
+    image_b = blob_image(centres=((24, 36),))
+    __, desc_a = extractor.detect_and_describe(image_a)
+    __, desc_b = extractor.detect_and_describe(image_b)
+    assert desc_a.shape[0] == 1 and desc_b.shape[0] == 1
+    distance = np.linalg.norm(desc_a[0] - desc_b[0])
+    assert distance < 0.35
+
+
+def test_descriptors_discriminate_different_patterns():
+    rng = np.random.default_rng(3)
+    extractor = SiftExtractor(contrast_threshold=0.01, max_keypoints=1)
+    blob = blob_image(centres=((32, 32),))
+    texture = rng.random((64, 64))
+    __, desc_blob = extractor.detect_and_describe(blob)
+    __, desc_texture = extractor.detect_and_describe(texture)
+    if desc_blob.shape[0] and desc_texture.shape[0]:
+        assert np.linalg.norm(desc_blob[0] - desc_texture[0]) > 0.3
+
+
+def test_keypoint_scale_grows_with_blob_size():
+    small = blob_image(centres=((32, 32),), radius=3.0)
+    large = blob_image(centres=((32, 32),), radius=6.0)
+    extractor = SiftExtractor(contrast_threshold=0.005, max_keypoints=1)
+    kp_small, __ = extractor.detect(small)
+    kp_large, __ = extractor.detect(large)
+    assert kp_small and kp_large
+    assert kp_large[0].sigma > kp_small[0].sigma
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        SiftExtractor(contrast_threshold=0.0)
+    with pytest.raises(ValueError):
+        SiftExtractor(edge_ratio=1.0)
+
+
+def test_detection_is_deterministic():
+    image = blob_image()
+    extractor = SiftExtractor(contrast_threshold=0.01)
+    first, __ = extractor.detect(image)
+    second, __ = extractor.detect(image)
+    assert [(kp.x, kp.y, kp.sigma) for kp in first] == \
+           [(kp.x, kp.y, kp.sigma) for kp in second]
