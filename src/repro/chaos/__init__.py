@@ -1,0 +1,35 @@
+"""Fault injection for resilience experiments.
+
+A :class:`FaultPlan` (see :mod:`repro.chaos.faults`) describes *what*
+goes wrong and *when*; a :class:`FaultInjector` drives the plan as a
+simulation process against an orchestrated deployment.  Faults touch
+only the data plane — discovery and recovery must come from the
+heartbeat :class:`~repro.orchestra.health.FailureDetector` and the
+client-side resilience layer, never from a side channel.
+"""
+
+from repro.chaos.faults import (
+    CRASH_KINDS,
+    DegradationBurst,
+    Fault,
+    FaultPlan,
+    GrayFailure,
+    InstanceCrash,
+    NetworkPartition,
+    NodeFailure,
+)
+from repro.chaos.injector import ChaosError, FaultInjector, FaultWindow
+
+__all__ = [
+    "CRASH_KINDS",
+    "ChaosError",
+    "DegradationBurst",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultWindow",
+    "GrayFailure",
+    "InstanceCrash",
+    "NetworkPartition",
+    "NodeFailure",
+]

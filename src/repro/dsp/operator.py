@@ -16,6 +16,7 @@ and use :meth:`compute` / :meth:`send` / :meth:`send_downstream`.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -23,22 +24,40 @@ import numpy as np
 
 from repro.cluster.container import Container
 from repro.dsp.record import FrameRecord, RecordKind
+from repro.metrics.summary import SampleReservoir
 from repro.net.addresses import Address, ServiceRegistry
-from repro.net.datagram import Datagram
+from repro.net.datagram import (
+    HEALTH_WIRE_BYTES,
+    Datagram,
+    HealthAck,
+    HealthProbe,
+)
 from repro.net.topology import Network
+
+#: Arrival markers kept for windowed ingress-FPS accounting.  Only the
+#: trailing sampling window is ever queried, so older markers can age
+#: out without changing any reported rate.
+ARRIVAL_WINDOW_SAMPLES = 16384
 
 
 @dataclass
 class ServiceStats:
-    """Per-instance counters and latency samples."""
+    """Per-instance counters and latency samples.
+
+    Latency samples live in a bounded :class:`SampleReservoir` so that
+    long soak/chaos runs do not grow memory without limit; counters
+    remain exact.
+    """
 
     received: int = 0
     processed: int = 0
     dropped_busy: int = 0
     failed: int = 0
-    latency_samples_s: List[float] = field(default_factory=list)
+    latency_samples_s: List[float] = field(
+        default_factory=SampleReservoir)
     #: (timestamp, count) arrival markers for ingress-FPS accounting.
-    arrival_times_s: List[float] = field(default_factory=list)
+    arrival_times_s: List[float] = field(
+        default_factory=lambda: deque(maxlen=ARRIVAL_WINDOW_SAMPLES))
 
     def mean_latency_s(self) -> float:
         if not self.latency_samples_s:
@@ -122,15 +141,36 @@ class StreamService:
         self.container.stop(failed=failed)
         self._started = False
 
+    def crash(self) -> None:
+        """Hard-kill this replica without informing the control plane.
+
+        Unlike ``stop(failed=True)``, the service's registry entry
+        survives: the rest of the system keeps routing frames (and
+        health probes) at a dead address until the failure detector
+        notices — the crash-to-recovery window the chaos layer exists
+        to measure.
+        """
+        if not self._started:
+            return
+        self.network.unbind(self.address)
+        self.container.stop(failed=True)
+        self._started = False
+
     @property
     def busy(self) -> bool:
         return self._busy
+
+    def is_running(self) -> bool:
+        return self._started
 
     # ------------------------------------------------------------------
     # Ingress
     # ------------------------------------------------------------------
     def _on_delivery(self, datagram: Datagram) -> None:
         record = datagram.payload
+        if isinstance(record, HealthProbe):
+            self._on_health_probe(record)
+            return
         if not isinstance(record, FrameRecord):
             return  # stray packet: UDP silently discards
         if self.is_control(record):
@@ -164,6 +204,19 @@ class StreamService:
                     record.key, record.created_s, name=self.name,
                     kind="service", instance=str(self.address),
                     start_s=start, end_s=self.sim.now)
+
+    def _on_health_probe(self, probe: HealthProbe) -> None:
+        """Answer a liveness probe (control plane; bypasses busy-drop).
+
+        A busy — or grey-slow — service still acks instantly, which is
+        precisely why heartbeat detectors are blind to gray failures.
+        """
+        ack = HealthAck(seq=probe.seq, instance=self.address,
+                        probe_sent_s=probe.sent_s)
+        datagram = Datagram(payload=ack, size_bytes=HEALTH_WIRE_BYTES,
+                            src=self.address, dst=probe.reply_to)
+        self.network.send(self.address.node, probe.reply_to, datagram,
+                          HEALTH_WIRE_BYTES)
 
     # ------------------------------------------------------------------
     # Hooks for subclasses

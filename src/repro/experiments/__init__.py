@@ -16,6 +16,7 @@ from repro.experiments.repetition import (
 from repro.experiments.runner import (
     ExperimentResult,
     run_ramp_experiment,
+    run_resilience_experiment,
     run_scatter_experiment,
     run_scatterpp_experiment,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "replicate",
     "replicate_experiment",
     "run_ramp_experiment",
+    "run_resilience_experiment",
     "run_scatter_experiment",
     "run_scatterpp_experiment",
     "significantly_better",

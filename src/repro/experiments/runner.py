@@ -24,6 +24,7 @@ from repro.scatter import config as scatter_config
 from repro.scatter.client import ArClient
 from repro.scatter.config import PlacementConfig
 from repro.scatter.pipeline import ScatterPipeline
+from repro.scatter.resilience import ResilienceConfig
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RngRegistry
 
@@ -49,6 +50,9 @@ class ExperimentResult:
     analytics: Optional[object] = None
     #: Per-frame distributed traces; present when ``tracing=True``.
     tracer: Optional[object] = None
+    #: Per-fault MTTR / availability report; present only for chaos
+    #: runs (see :func:`run_resilience_experiment`).
+    resilience: Optional[object] = None
 
     # ------------------------------------------------------------------
     # Client QoS aggregates
@@ -122,7 +126,9 @@ class ExperimentResult:
 
 def _build(placement: PlacementConfig, num_clients: int, seed: int,
            client_netem: Optional[Netem],
-           pipeline_kwargs: Optional[dict]) -> tuple:
+           pipeline_kwargs: Optional[dict],
+           resilience: Optional[ResilienceConfig] = None,
+           watchdog: bool = True) -> tuple:
     sim = Simulator()
     rng = RngRegistry(seed)
     testbed = build_paper_testbed(sim, rng, num_clients=num_clients)
@@ -133,12 +139,12 @@ def _build(placement: PlacementConfig, num_clients: int, seed: int,
     pipeline = ScatterPipeline(testbed, orchestrator, placement,
                                **(pipeline_kwargs or {}))
     pipeline.deploy()
-    orchestrator.start()
+    orchestrator.start(watchdog=watchdog)
     clients = []
     for index, node in enumerate(testbed.client_nodes):
         clients.append(ArClient(
             client_id=index, node=node, network=testbed.network,
-            registry=orchestrator.registry,
+            registry=orchestrator.registry, resilience=resilience,
             rng=rng.stream(f"client.{index}")))
     return sim, testbed, orchestrator, pipeline, clients
 
@@ -255,3 +261,61 @@ def run_ramp_experiment(
         clients=[c.stats for c in clients], pipeline=pipeline,
         monitor=orchestrator.monitor, testbed=testbed,
         analytics=analytics)
+
+
+def run_resilience_experiment(
+        placement: PlacementConfig, *, num_clients: int, plan,
+        duration_s: float = DEFAULT_DURATION_S, seed: int = 0,
+        resilience: Optional[ResilienceConfig] = None,
+        detector_kwargs: Optional[dict] = None,
+        scatterpp: bool = False,
+        threshold_s: Optional[float] = None,
+        client_netem: Optional[Netem] = None) -> ExperimentResult:
+    """A chaos run: faults injected, failures *discovered*, QoS kept.
+
+    Differences from the plain runners:
+
+    * the orchestrator's container-state watchdog is off — failures
+      must be discovered by the heartbeat
+      :class:`~repro.orchestra.health.FailureDetector`;
+    * every client gets the resilience layer (retry + breaker +
+      local fallback), defaulting to :class:`ResilienceConfig`'s
+      stock parameters;
+    * ``plan`` (a :class:`~repro.chaos.faults.FaultPlan`) is driven by
+      a :class:`~repro.chaos.injector.FaultInjector`;
+    * the result carries a
+      :class:`~repro.metrics.resilience.ResilienceReport` in its
+      ``resilience`` field.
+    """
+    from repro.chaos.injector import FaultInjector
+    from repro.metrics.resilience import build_resilience_report
+    from repro.orchestra.health import FailureDetector
+
+    if resilience is None:
+        resilience = ResilienceConfig()
+    pipeline_kwargs = None
+    if scatterpp:
+        from repro.scatterpp.pipeline import scatterpp_pipeline_kwargs
+
+        pipeline_kwargs = scatterpp_pipeline_kwargs(
+            threshold_s=threshold_s)
+    sim, testbed, orchestrator, pipeline, clients = _build(
+        placement, num_clients, seed, client_netem, pipeline_kwargs,
+        resilience=resilience, watchdog=False)
+    detector = FailureDetector(orchestrator,
+                               **(detector_kwargs or {}))
+    detector.start()
+    injector = FaultInjector(orchestrator, plan)
+    injector.start()
+    for client in clients:
+        client.start(duration_s)
+    sim.run(until=duration_s + DRAIN_S)
+    report = build_resilience_report(
+        injector=injector, detector=detector,
+        orchestrator=orchestrator, clients=clients)
+    return ExperimentResult(
+        config_name=placement.name, num_clients=num_clients,
+        duration_s=duration_s,
+        clients=[c.stats for c in clients], pipeline=pipeline,
+        monitor=orchestrator.monitor, testbed=testbed,
+        resilience=report)

@@ -13,12 +13,30 @@ read together (insight I):
 
 from repro.metrics.hardware import HardwareMonitor, HardwareSample
 from repro.metrics.qos import ClientStats
-from repro.metrics.summary import Summary, summarize
+from repro.metrics.summary import SampleReservoir, Summary, summarize
 
 __all__ = [
     "ClientStats",
+    "FaultRecovery",
     "HardwareMonitor",
     "HardwareSample",
+    "ResilienceReport",
+    "SampleReservoir",
     "Summary",
+    "build_resilience_report",
     "summarize",
 ]
+
+#: Lazily resolved: repro.metrics.resilience pulls in the chaos and
+#: orchestration layers, which themselves import low-level metrics
+#: modules — importing it eagerly here would close an import cycle.
+_LAZY = {"FaultRecovery", "ResilienceReport", "build_resilience_report"}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        from repro.metrics import resilience
+
+        return getattr(resilience, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

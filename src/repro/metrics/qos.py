@@ -28,7 +28,13 @@ class ClientStats:
     client_id: int
     sent: Dict[int, float] = field(default_factory=dict)
     received: Dict[int, float] = field(default_factory=dict)
+    #: Frames answered by the *local* fallback tracker instead of the
+    #: pipeline (graceful degradation while the circuit breaker is open).
+    degraded: Dict[int, float] = field(default_factory=dict)
     e2e_latencies_s: List[float] = field(default_factory=list)
+    #: Resilience-layer counters (zero when the layer is disabled).
+    retries: int = 0
+    timeouts: int = 0
 
     def record_sent(self, frame_number: int, timestamp_s: float) -> None:
         if frame_number in self.sent:
@@ -43,8 +49,28 @@ class ClientStats:
                 f"result for unknown frame {frame_number}")
         if frame_number in self.received:
             return  # duplicate delivery: count once
+        # A pipeline result beats a local fallback one for this frame.
+        self.degraded.pop(frame_number, None)
         self.received[frame_number] = timestamp_s
         self.e2e_latencies_s.append(timestamp_s - sent_at)
+
+    def record_degraded(self, frame_number: int,
+                        timestamp_s: float) -> None:
+        """A frame handled by local fallback tracking.
+
+        Degraded frames keep the augmentation alive but do not count as
+        pipeline successes: they appear in :meth:`availability` and
+        :meth:`degraded_rate`, never in :meth:`success_rate` or the E2E
+        latency distribution.  A late pipeline result supersedes the
+        local one (the frame moves to ``received``).
+        """
+        if frame_number not in self.sent:
+            raise ValueError(
+                f"degraded result for unknown frame {frame_number}")
+        if (frame_number in self.received
+                or frame_number in self.degraded):
+            return
+        self.degraded[frame_number] = timestamp_s
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -57,10 +83,29 @@ class ClientStats:
     def frames_received(self) -> int:
         return len(self.received)
 
+    @property
+    def frames_degraded(self) -> int:
+        return len(self.degraded)
+
     def success_rate(self) -> float:
         if not self.sent:
             return 0.0
         return self.frames_received / self.frames_sent
+
+    def degraded_rate(self) -> float:
+        if not self.sent:
+            return 0.0
+        return self.frames_degraded / self.frames_sent
+
+    def availability(self) -> float:
+        """Fraction of frames answered by *anything* — the pipeline or
+        the local fallback.  The user-facing "did the augmentation keep
+        moving" number, as opposed to :meth:`success_rate`'s "did the
+        pipeline answer"."""
+        if not self.sent:
+            return 0.0
+        return (self.frames_received
+                + self.frames_degraded) / self.frames_sent
 
     def fps(self, duration_s: Optional[float] = None) -> float:
         """Received frames per second over ``duration_s`` (defaults to

@@ -8,6 +8,45 @@ from typing import Iterable, List
 import numpy as np
 
 
+class SampleReservoir(list):
+    """A bounded sample list (Vitter's algorithm R).
+
+    Long chaos/soak runs append latency and queue-wait samples for the
+    whole run; an unbounded list grows memory linearly with virtual
+    time.  The reservoir keeps a uniform subsample of at most
+    ``maxlen`` values while :attr:`total` counts every offered sample,
+    so means/percentiles stay unbiased and counters stay exact.
+    Replacement draws come from a private seeded generator, keeping
+    runs deterministic.
+    """
+
+    def __init__(self, maxlen: int = 65536, seed: int = 0x5EED):
+        if maxlen < 1:
+            raise ValueError(f"maxlen must be >= 1, got {maxlen}")
+        super().__init__()
+        self.maxlen = maxlen
+        self.total = 0
+        self._rng = np.random.default_rng(seed)
+
+    def append(self, value: float) -> None:
+        self.total += 1
+        if len(self) < self.maxlen:
+            super().append(value)
+            return
+        slot = int(self._rng.integers(0, self.total))
+        if slot < self.maxlen:
+            self[slot] = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.append(value)
+
+    @property
+    def overflowed(self) -> bool:
+        """Whether more samples were offered than the reservoir holds."""
+        return self.total > self.maxlen
+
+
 @dataclass(frozen=True)
 class Summary:
     """Five-number-ish summary of a sample."""

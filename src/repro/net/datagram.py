@@ -27,6 +27,34 @@ class Datagram:
     dst: Address
 
 
+#: Wire size of a health probe/ack packet (a UDP ping with a header).
+HEALTH_WIRE_BYTES = 128
+
+
+@dataclass(frozen=True)
+class HealthProbe:
+    """Control-plane liveness probe sent by the failure detector.
+
+    Probes ride the same datagram network as frames, so a partition or
+    blackholed address silences them exactly like application traffic —
+    which is what lets the detector *discover* failures instead of
+    being told about them.
+    """
+
+    seq: int
+    reply_to: Address
+    sent_s: float
+
+
+@dataclass(frozen=True)
+class HealthAck:
+    """A service instance's reply to a :class:`HealthProbe`."""
+
+    seq: int
+    instance: Address
+    probe_sent_s: float
+
+
 class DatagramSocket:
     """An unreliable, connectionless socket bound to one address."""
 

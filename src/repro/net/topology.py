@@ -9,7 +9,7 @@ the physical testbed would.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
 import numpy as np
@@ -83,6 +83,38 @@ class Network:
         self.link(src, dst).netem = netem
         if symmetric:
             self.link(dst, src).netem = netem
+
+    def partition(self, group_a: Iterable[str],
+                  group_b: Iterable[str]) -> List[Tuple[str, str,
+                                                        Optional[Netem]]]:
+        """Blackhole every direct link crossing the two node groups.
+
+        Models a network partition the way ``tc netem loss 100%`` does:
+        links stay up (routes unchanged) but every packet crossing the
+        cut is dropped — control-plane probes included.  Returns the
+        saved pre-partition netem profiles; pass them to :meth:`heal`.
+        """
+        saved: List[Tuple[str, str, Optional[Netem]]] = []
+        for a in group_a:
+            for b in group_b:
+                for src, dst in ((a, b), (b, a)):
+                    link = self._links.get((src, dst))
+                    if link is None:
+                        continue
+                    saved.append((src, dst, link.netem))
+                    link.netem = Netem(loss=1.0)
+        if not saved:
+            raise NetworkError(
+                f"no links cross the partition {sorted(group_a)} | "
+                f"{sorted(group_b)}")
+        return saved
+
+    def heal(self, saved: List[Tuple[str, str, Optional[Netem]]]) -> None:
+        """Undo a :meth:`partition`, restoring the saved profiles."""
+        for src, dst, netem in saved:
+            link = self._links.get((src, dst))
+            if link is not None:
+                link.netem = netem
 
     # ------------------------------------------------------------------
     # Routing

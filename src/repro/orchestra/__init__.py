@@ -21,6 +21,11 @@ from repro.orchestra.autoscaler import (
     HardwareScalingPolicy,
 )
 from repro.orchestra.balancer import least_loaded_balancer
+from repro.orchestra.health import (
+    FailureDetector,
+    HealthEvent,
+    HealthState,
+)
 from repro.orchestra.migration import MigrationController
 from repro.orchestra.orchestrator import Orchestrator, OrchestratorError
 from repro.orchestra.placement import PlacementOptimizer
@@ -30,7 +35,10 @@ from repro.orchestra.sla import ServiceSla
 __all__ = [
     "AppAwareScalingPolicy",
     "Autoscaler",
+    "FailureDetector",
     "HardwareScalingPolicy",
+    "HealthEvent",
+    "HealthState",
     "MigrationController",
     "Orchestrator",
     "OrchestratorError",

@@ -10,7 +10,7 @@ the blind spot the paper characterizes.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.cluster.container import Container, ContainerState
 from repro.cluster.machine import Machine
@@ -60,6 +60,9 @@ class Orchestrator:
                            else base_port)
         self._watchdog_running = False
         self.redeploy_count = 0
+        #: (timestamp, service) log of every self-healing redeploy —
+        #: the recovery half of the MTTR metric.
+        self.redeploy_events: List[Tuple[float, str]] = []
 
     # ------------------------------------------------------------------
     # Deployment
@@ -136,10 +139,47 @@ class Orchestrator:
         """Crash a replica (test/chaos hook)."""
         instance.stop(failed=True)
 
-    def start(self) -> None:
-        """Start monitoring and the failure watchdog."""
+    def replace_instance(self, service: str,
+                         instance: StreamService) -> StreamService:
+        """Replace a dead replica with a fresh one (self-healing).
+
+        Shared by the container watchdog and the heartbeat failure
+        detector.  Removes the victim from the replica set, withdraws
+        its (possibly stale) registry entry, kills it if it is somehow
+        still running (a partitioned-but-alive instance the detector
+        declared dead), and deploys a replacement per the original SLA.
+        Raises :class:`~repro.orchestra.scheduler.SchedulingError` when
+        no machine is currently feasible (e.g. the pinned node is down)
+        — callers retry once capacity returns.
+        """
+        sla = self._slas.get(service)
+        factory = self._factories.get(service)
+        if sla is None or factory is None:
+            raise OrchestratorError(f"service {service!r} never deployed")
+        instances = self._instances.get(service, [])
+        # Place the replacement *before* mutating any state, so a
+        # scheduling failure leaves the deployment untouched for retry.
+        replacement = self._deploy_one(sla, factory)
+        if instance in instances:
+            instances.remove(instance)
+        self.registry.deregister(service, instance.address)
+        if instance.container.state is ContainerState.RUNNING:
+            instance.stop(failed=True)
+        self.redeploy_count += 1
+        self.redeploy_events.append((self.sim.now, service))
+        return replacement
+
+    def start(self, *, watchdog: bool = True) -> None:
+        """Start monitoring and (by default) the failure watchdog.
+
+        Pass ``watchdog=False`` when a heartbeat
+        :class:`~repro.orchestra.health.FailureDetector` is attached:
+        the watchdog reads remote container state directly (a
+        simulation shortcut no real control plane has), whereas the
+        detector must *discover* failures over the network.
+        """
         self.monitor.start()
-        if not self._watchdog_running:
+        if watchdog and not self._watchdog_running:
             self._watchdog_running = True
             self.sim.spawn(self._watchdog(), name="orchestrator-watchdog")
 
@@ -151,10 +191,6 @@ class Orchestrator:
                 failed = [i for i in instances
                           if i.container.state is ContainerState.FAILED]
                 for instance in failed:
-                    instances.remove(instance)
-                    sla = self._slas[service]
-                    factory = self._factories[service]
                     # Keep the replacement on the same machine when the
                     # original SLA pinned one; otherwise reschedule.
-                    self._deploy_one(sla, factory)
-                    self.redeploy_count += 1
+                    self.replace_instance(service, instance)

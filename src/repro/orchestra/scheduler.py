@@ -8,7 +8,7 @@ worst-fit heuristic that spreads load, as Oakestra's default does).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Set
 
 from repro.cluster.machine import Machine
 from repro.orchestra.sla import ServiceSla
@@ -19,15 +19,35 @@ class SchedulingError(RuntimeError):
 
 
 class Scheduler:
-    """Stateless placement logic over a machine inventory."""
+    """Placement logic over a machine inventory.
+
+    Mostly stateless; the one piece of state is the set of machines
+    currently marked *offline* (a whole-node failure injected by the
+    chaos layer), which are excluded from placement until they rejoin.
+    """
 
     def __init__(self, machines: Dict[str, Machine]):
         self.machines = machines
+        self._offline: Set[str] = set()
+
+    def set_offline(self, name: str, offline: bool = True) -> None:
+        """Mark a machine down (or back up) for placement decisions."""
+        if name not in self.machines:
+            raise SchedulingError(f"unknown machine {name!r}")
+        if offline:
+            self._offline.add(name)
+        else:
+            self._offline.discard(name)
+
+    def is_offline(self, name: str) -> bool:
+        return name in self._offline
 
     def feasible_machines(self, sla: ServiceSla) -> List[Machine]:
         """All machines satisfying the SLA's constraints and demands."""
         feasible = []
         for name, machine in sorted(self.machines.items()):
+            if name in self._offline:
+                continue
             if not sla.permits(name):
                 continue
             if sla.requires_gpu and not machine.has_gpu:

@@ -25,6 +25,13 @@ from repro.scatter.config import (
     scaling_config,
 )
 from repro.scatter.pipeline import ScatterPipeline
+from repro.scatter.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    LocalFallbackTracker,
+    ResilienceConfig,
+    RetryPolicy,
+)
 from repro.scatter.services import (
     EncodingService,
     LshService,
@@ -35,7 +42,12 @@ from repro.scatter.services import (
 
 __all__ = [
     "ArClient",
+    "BreakerState",
+    "CircuitBreaker",
     "EncodingService",
+    "LocalFallbackTracker",
+    "ResilienceConfig",
+    "RetryPolicy",
     "LshService",
     "MatchingService",
     "PIPELINE_ORDER",

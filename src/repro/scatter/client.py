@@ -4,6 +4,19 @@ Clients run as containers on NUC machines and replay the pre-recorded
 10 s / 30 FPS video in a loop (§3.2), streaming frames to the pipeline
 ingress (``primary``) over UDP and collecting results into
 :class:`~repro.metrics.qos.ClientStats`.
+
+With a :class:`~repro.scatter.resilience.ResilienceConfig` attached the
+send path gains three layers (all off by default, preserving the
+paper's baseline behaviour):
+
+* frames with no result within ``request_timeout_s`` are retried with
+  exponential backoff (:class:`~repro.scatter.resilience.RetryPolicy`);
+* consecutive failures trip a per-client circuit breaker — while it is
+  open no frames are sent, so a dead or partitioned pipeline costs one
+  timeout window instead of one per frame;
+* while the breaker is open, frames degrade to *local* fast-feature
+  tracking (:class:`~repro.scatter.resilience.LocalFallbackTracker`),
+  recorded as ``degraded`` rather than lost.
 """
 
 from __future__ import annotations
@@ -18,6 +31,11 @@ from repro.net.addresses import Address, ServiceRegistry
 from repro.net.datagram import Datagram
 from repro.net.topology import Network
 from repro.scatter import config
+from repro.scatter.resilience import (
+    CircuitBreaker,
+    LocalFallbackTracker,
+    ResilienceConfig,
+)
 from repro.sim.kernel import Simulator
 
 
@@ -30,6 +48,7 @@ class ArClient:
                  registry: ServiceRegistry,
                  fps: float = config.CLIENT_FPS,
                  start_offset_s: Optional[float] = None,
+                 resilience: Optional[ResilienceConfig] = None,
                  rng: Optional[np.random.Generator] = None):
         if fps <= 0:
             raise ValueError(f"fps must be positive, got {fps}")
@@ -48,6 +67,13 @@ class ArClient:
         self.stats = ClientStats(client_id=client_id)
         #: Optional distributed tracer (see repro.metrics.tracing).
         self.tracer = None
+        self.resilience = resilience
+        self.breaker: Optional[CircuitBreaker] = None
+        self.fallback: Optional[LocalFallbackTracker] = None
+        if resilience is not None:
+            self.breaker = resilience.build_breaker(self.sim)
+            if resilience.fallback:
+                self.fallback = LocalFallbackTracker(seed=client_id)
         self._running = False
         network.bind(self.address, self._on_delivery)
 
@@ -57,6 +83,8 @@ class ArClient:
                 and record.kind is RecordKind.RESULT
                 and record.client_id == self.client_id):
             self.stats.record_received(record.frame_number, self.sim.now)
+            if self.breaker is not None:
+                self.breaker.record_success()
             if self.tracer is not None:
                 self.tracer.record_delivery(record.key,
                                             record.created_s,
@@ -96,11 +124,71 @@ class ArClient:
         if self.tracer is not None:
             self.tracer.ensure((self.client_id, frame_number),
                                self.sim.now)
+        if self.resilience is None:
+            self._transmit(record)
+        else:
+            self._dispatch(record, attempt=0)
+
+    def _transmit(self, record: FrameRecord) -> bool:
         try:
             ingress = self.registry.resolve("primary")
         except LookupError:
-            return  # pipeline not deployed: the frame is lost
+            return False  # pipeline not deployed: the frame is lost
         datagram = Datagram(payload=record, size_bytes=record.size_bytes,
                             src=self.address, dst=ingress)
         self.network.send(self.node, ingress, datagram,
                           record.size_bytes)
+        return True
+
+    # ------------------------------------------------------------------
+    # Resilient send path
+    # ------------------------------------------------------------------
+    def _dispatch(self, record: FrameRecord, attempt: int) -> None:
+        """Send (or re-send) one frame under breaker control."""
+        assert self.resilience is not None and self.breaker is not None
+        if record.frame_number in self.stats.received:
+            return  # a retry raced a late result
+        if not self.breaker.allow():
+            self._degrade(record)
+            return
+        # A failed resolve (registry empty: every replica dead or
+        # suspected) still consumes the timeout window, so the breaker
+        # learns about it the same way it learns about silence.
+        self._transmit(record)
+        self.sim.schedule(self.resilience.request_timeout_s,
+                          self._check_timeout, record, attempt)
+
+    def _check_timeout(self, record: FrameRecord, attempt: int) -> None:
+        assert self.resilience is not None and self.breaker is not None
+        if record.frame_number in self.stats.received:
+            return
+        self.stats.timeouts += 1
+        self.breaker.record_failure()
+        next_attempt = attempt + 1
+        if next_attempt >= self.resilience.retry.max_attempts:
+            return  # retry budget exhausted: the frame is lost
+        if not self.breaker.allow():
+            self._degrade(record)
+            return
+        self.stats.retries += 1
+        delay = self.resilience.retry.delay_s(next_attempt, self.rng)
+        self.sim.schedule(delay, self._dispatch, record, next_attempt)
+
+    def _degrade(self, record: FrameRecord) -> None:
+        """Answer a frame locally while the breaker is open."""
+        assert self.resilience is not None
+        if not self.resilience.fallback:
+            return  # degradation disabled: the frame is simply lost
+        self.sim.schedule(self.resilience.fallback_latency_s,
+                          self._complete_degraded, record.frame_number)
+
+    def _complete_degraded(self, frame_number: int) -> None:
+        if frame_number in self.stats.received:
+            return  # a late pipeline result beat the local tracker
+        if (self.fallback is not None
+                and self.resilience.fallback_video is not None):
+            frame = self.resilience.fallback_video.frame(frame_number)
+            self.fallback.track(frame_number, frame.image)
+        elif self.fallback is not None:
+            self.fallback.frames_tracked += 1
+        self.stats.record_degraded(frame_number, self.sim.now)

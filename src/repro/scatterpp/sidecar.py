@@ -25,8 +25,9 @@ from typing import List, Optional, Tuple, Type
 
 from repro.dsp.operator import StreamService
 from repro.dsp.record import FrameRecord
+from repro.metrics.summary import SampleReservoir
 from repro.net.addresses import Address
-from repro.net.datagram import Datagram
+from repro.net.datagram import Datagram, HealthProbe
 from repro.net.rpc import RpcChannel, RpcServer, RpcTimeoutError
 from repro.sim.resources import Store
 
@@ -36,21 +37,38 @@ RPC_OVERHEAD_S = 0.0004
 #: Offset from the service's UDP port to its co-located gRPC port.
 RPC_PORT_OFFSET = 10000
 
+#: Upper bound on one queue→service hand-off; only reached when the
+#: instance dies mid-dispatch and the RPC reply is never coming.
+DISPATCH_TIMEOUT_S = 2.0
+
 
 @dataclass
 class SidecarStats:
-    """Cumulative sidecar counters plus sampling helpers."""
+    """Cumulative sidecar counters plus sampling helpers.
+
+    Queue-wait samples live in a bounded :class:`SampleReservoir` so
+    long runs don't grow memory without limit; counters stay exact.
+    """
 
     enqueued: int = 0
     dropped_stale: int = 0
     dropped_overflow: int = 0
+    #: Frames still queued when the sidecar detached (instance stopped
+    #: or crashed): their state is freed and they count as drops.
+    dropped_detach: int = 0
     dispatched: int = 0
-    queue_wait_samples_s: List[float] = field(default_factory=list)
+    queue_wait_samples_s: List[float] = field(
+        default_factory=SampleReservoir)
 
     def drop_ratio(self) -> float:
         """Fraction of queue exits that were threshold drops."""
         exits = self.dropped_stale + self.dispatched
         return self.dropped_stale / exits if exits else 0.0
+
+    def overflow_ratio(self) -> float:
+        """Fraction of queue admissions refused for a full queue."""
+        arrivals = self.enqueued + self.dropped_overflow
+        return self.dropped_overflow / arrivals if arrivals else 0.0
 
 
 #: Queue disciplines the sidecar supports.
@@ -95,22 +113,42 @@ class Sidecar:
             service.address.node,
             service.address.port + RPC_PORT_OFFSET)
         self._server: Optional[RpcServer] = None
+        self._detached = False
 
     # ------------------------------------------------------------------
     def attach(self) -> None:
         """Bind the service's gRPC endpoint and start dispatching."""
+        self._detached = False
         self._server = RpcServer(self.service.network, self._rpc_address,
                                  self._serve)
         self.sim.spawn(self._dispatch_loop(),
                        name=f"sidecar-{self.service.name}")
 
     def detach(self) -> None:
+        """Unbind the gRPC endpoint and drain the queue.
+
+        Frames still queued when the instance stops would otherwise
+        keep their ``allocate_state`` bytes forever (and the dispatch
+        loop would hang on them): free every pending entry's state,
+        count it as a drop, and wake the dispatcher so it can exit.
+        """
         if self._server is not None:
             self._server.close()
             self._server = None
+        if self._detached:
+            return
+        self._detached = True
+        for record, __ in self._entries:
+            self.service.container.free_state(record.size_bytes)
+            self.stats.dropped_detach += 1
+        self._entries.clear()
+        self.queue.put_nowait(True)  # wake the dispatcher to exit
 
     def enqueue(self, record: FrameRecord) -> None:
         """Admit a request into the queue (never busy-drops)."""
+        if self._detached:
+            self.stats.dropped_detach += 1
+            return
         if len(self._entries) >= self.queue_capacity:
             self.stats.dropped_overflow += 1
             return
@@ -134,6 +172,10 @@ class Sidecar:
     def _dispatch_loop(self):
         while True:
             yield self.queue.get()
+            if self._detached:
+                return
+            if not self._entries:
+                continue  # entries were drained while we slept
             record, enqueued_at = self._take()
             self.service.container.free_state(record.size_bytes)
             wait = self.sim.now - enqueued_at
@@ -152,8 +194,15 @@ class Sidecar:
                     instance=str(self.service.address),
                     start_s=enqueued_at, end_s=self.sim.now)
             try:
-                yield self._channel.call(self._rpc_address, record,
-                                         size_bytes=record.size_bytes)
+                call = self._channel.call(self._rpc_address, record,
+                                          size_bytes=record.size_bytes)
+                # Guard the hand-off: if the instance dies mid-dispatch
+                # the RPC reply never comes back, and without a bound
+                # the loop would hang on it forever.
+                guard = self.sim.timeout(DISPATCH_TIMEOUT_S)
+                winner, __ = yield self.sim.any_of([call, guard])
+                if winner is guard:
+                    continue
             except RpcTimeoutError:
                 continue  # loopback loss is theoretical, but be safe
             self.stats.dispatched += 1
@@ -210,8 +259,15 @@ def sidecar_wrap(base_class: Type[StreamService],
             self.sidecar.detach()
             super().stop(failed=failed)
 
+        def crash(self) -> None:
+            self.sidecar.detach()
+            super().crash()
+
         def _on_delivery(self, datagram: Datagram) -> None:
             record = datagram.payload
+            if isinstance(record, HealthProbe):
+                self._on_health_probe(record)
+                return
             if not isinstance(record, FrameRecord):
                 return
             if self.is_control(record):
