@@ -1,0 +1,87 @@
+"""Parallel campaign sharding — determinism contract + speedup.
+
+Runs the demo campaign (2 pipelines × 2 placements × 2 client counts
+× 3 seeds = 24 (cell, seed) tasks) twice: serially and sharded across
+4 worker processes.  Asserts the determinism contract — byte-identical
+per-cell metrics and trace digests — and records both wall-clock times
+in ``benchmarks/results/BENCH_parallel_campaign.json``.
+
+The speedup assertion is gated on available cores: on a single-CPU
+box process parallelism cannot beat serial execution (the contract
+still must hold there); on ≥4 cores the sharded run must be
+measurably faster.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.experiments.campaign import Campaign, run_campaign
+
+from benchmarks.conftest import RESULTS_DIR
+
+DEMO = Campaign(
+    name="parallel-demo",
+    pipelines=("scatter", "scatterpp"),
+    placements=("C1", "C12"),
+    client_counts=(1, 4),
+    duration_s=20.0,
+    seeds=(0, 1, 2),
+)
+
+WORKERS = 4
+
+
+def _metric_values(report):
+    return {cell: {name: metric.values
+                   for name, metric in sorted(metrics.items())}
+            for cell, metrics in sorted(report.cells.items())}
+
+
+def test_parallel_campaign_contract_and_speedup(save_result,
+                                                campaign_workers):
+    workers = campaign_workers or WORKERS
+
+    start = time.perf_counter()
+    serial = run_campaign(DEMO)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded = run_campaign(DEMO, workers=workers)
+    parallel_s = time.perf_counter() - start
+
+    # Determinism contract: byte-identical metrics and digests.
+    assert not serial.failures and not sharded.failures
+    assert _metric_values(sharded) == _metric_values(serial)
+    assert sharded.digests == serial.digests
+    tasks = len(DEMO.cells) * len(DEMO.seeds)
+    assert sum(len(d) for d in serial.digests.values()) == tasks
+
+    cpus = os.cpu_count() or 1
+    speedup = serial_s / parallel_s if parallel_s > 0 else 0.0
+    entry = {
+        "campaign": DEMO.name,
+        "tasks": tasks,
+        "duration_s": DEMO.duration_s,
+        "workers": workers,
+        "cpus": cpus,
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "speedup": round(speedup, 3),
+        "digests_identical": True,
+        "metrics_identical": True,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_parallel_campaign.json").write_text(
+        json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    save_result("parallel_campaign",
+                json.dumps(entry, indent=2, sort_keys=True))
+
+    # Speedup is only physically possible with spare cores.
+    if cpus >= 4 and workers >= 4:
+        assert parallel_s < serial_s, entry
+        assert speedup > 1.3, entry
+    elif cpus >= 2 and workers >= 2:
+        assert parallel_s < serial_s * 1.05, entry

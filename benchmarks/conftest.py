@@ -8,11 +8,29 @@ capture.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--campaign-workers", type=int,
+        default=int(os.environ.get("REPRO_CAMPAIGN_WORKERS", "0")),
+        help="shard campaign-style benchmarks across N worker "
+             "processes (0 = serial); results are bit-identical "
+             "either way — see the determinism contract in "
+             "EXPERIMENTS.md")
+
+
+@pytest.fixture
+def campaign_workers(request) -> int:
+    """Worker count for sharded benchmark runs (``--campaign-workers``
+    or the ``REPRO_CAMPAIGN_WORKERS`` env var; 0 = serial)."""
+    return request.config.getoption("--campaign-workers")
 
 
 @pytest.fixture

@@ -209,13 +209,23 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         client_counts=tuple(int(n) for n in args.clients.split(",")),
         duration_s=args.duration,
         seeds=tuple(int(s) for s in args.seeds.split(",")))
-    report = run_campaign(campaign, store_dir=args.store,
-                          progress=lambda line: print(f"  ... {line}"))
+    if args.workers:
+        tasks = len(campaign.cells) * len(campaign.seeds)
+        print(f"  ... sharding {tasks} (cell, seed) tasks across "
+              f"{args.workers} worker process(es)")
+    report = run_campaign(
+        campaign, store_dir=args.store, workers=args.workers,
+        progress=lambda line: print(f"  ... {line}"),
+        task_progress=(lambda line: print(f"      {line}"))
+        if args.verbose else None)
     print()
     print(render_report(report))
+    if report.failures:
+        print(f"\nWARNING: {len(report.failures)} cell(s) failed; "
+              f"see the 'failed cells' table above.")
     if args.store:
         print(f"\nper-cell summaries stored under {args.store}/")
-    return 0
+    return 0 if not report.failures else 1
 
 
 def cmd_optimize(args: argparse.Namespace) -> int:
@@ -301,6 +311,12 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seeds", default="0")
     campaign.add_argument("--store", default=None,
                           help="directory for per-cell JSON summaries")
+    campaign.add_argument("--workers", type=int, default=0,
+                          help="shard (cell, seed) tasks across N "
+                               "worker processes (0 = serial); "
+                               "results are bit-identical either way")
+    campaign.add_argument("--verbose", action="store_true",
+                          help="print per-task progress lines")
 
     optimize = sub.add_parser(
         "optimize", help="search placements analytically")

@@ -7,8 +7,17 @@ hardware metrics; :mod:`repro.experiments.figures` maps every figure of
 the paper's evaluation to a function regenerating its rows.
 """
 
+from repro.experiments.parallel import (
+    CellFailure,
+    CellTask,
+    TaskOutcome,
+    plan_tasks,
+    run_tasks,
+    shard_tasks,
+)
 from repro.experiments.repetition import (
     ReplicatedMetric,
+    aggregate_summaries,
     replicate,
     replicate_experiment,
     significantly_better,
@@ -28,10 +37,15 @@ from repro.experiments.store import (
 )
 
 __all__ = [
+    "CellFailure",
+    "CellTask",
     "ExperimentResult",
     "ReplicatedMetric",
     "ResultStore",
+    "TaskOutcome",
+    "aggregate_summaries",
     "diff_results",
+    "plan_tasks",
     "regressions",
     "replicate",
     "replicate_experiment",
@@ -39,6 +53,8 @@ __all__ = [
     "run_resilience_experiment",
     "run_scatter_experiment",
     "run_scatterpp_experiment",
+    "run_tasks",
+    "shard_tasks",
     "significantly_better",
     "summarize_result",
 ]

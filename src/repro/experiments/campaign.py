@@ -23,10 +23,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.experiments.parallel import (
+    CellFailure,
+    TaskOutcome,
+    plan_tasks,
+    run_tasks,
+)
 from repro.experiments.repetition import (
     REPLICATED_METRICS,
     ReplicatedMetric,
-    replicate_experiment,
+    aggregate_summaries,
 )
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import (
@@ -111,37 +117,99 @@ class CampaignReport:
     #: (pipeline, placement, clients) -> metric -> ReplicatedMetric
     cells: Dict[Tuple[str, str, int], Dict[str, ReplicatedMetric]] \
         = field(default_factory=dict)
+    #: (pipeline, placement, clients) -> seed -> trace digest hex.
+    digests: Dict[Tuple[str, str, int], Dict[int, str]] \
+        = field(default_factory=dict)
+    #: Cells that produced no metrics, with per-seed failure records.
+    failures: Dict[Tuple[str, str, int], List[CellFailure]] \
+        = field(default_factory=dict)
+
+
+def _cell_summary(campaign: Campaign, cell: Tuple[str, str, int],
+                  metrics: Dict[str, ReplicatedMetric],
+                  digests: Dict[int, str]) -> Dict:
+    pipeline, placement_name, clients = cell
+    summary = {name: {"mean": metric.mean,
+                      "std": metric.std,
+                      "ci95": metric.ci95_halfwidth,
+                      "values": list(metric.values)}
+               for name, metric in metrics.items()}
+    summary.update({"pipeline": pipeline,
+                    "config": placement_name,
+                    "clients": clients,
+                    "seeds": list(campaign.seeds),
+                    "trace_digests": {str(seed): digest
+                                      for seed, digest
+                                      in digests.items()}})
+    return summary
+
+
+def _failure_summary(campaign: Campaign, cell: Tuple[str, str, int],
+                     failures: List[CellFailure]) -> Dict:
+    pipeline, placement_name, clients = cell
+    return {"pipeline": pipeline,
+            "config": placement_name,
+            "clients": clients,
+            "seeds": list(campaign.seeds),
+            "failed": True,
+            "failures": [{"seed": failure.task.seed,
+                          "kind": failure.kind,
+                          "error": failure.error}
+                         for failure in failures]}
 
 
 def run_campaign(campaign: Campaign, *,
                  store_dir: Optional[str] = None,
-                 progress: Optional[Callable[[str], None]] = None
+                 progress: Optional[Callable[[str], None]] = None,
+                 workers: Optional[int] = None,
+                 task_progress: Optional[Callable[[str], None]] = None
                  ) -> CampaignReport:
-    """Execute every cell of the grid (replicated across seeds)."""
+    """Execute every cell of the grid (replicated across seeds).
+
+    ``workers=None``/``0`` runs serially in-process; ``workers>=1``
+    shards the (cell, seed) tasks across that many worker processes
+    via :mod:`repro.experiments.parallel`.  The two paths are
+    contractually identical: same metrics, same trace digests (see
+    ``tests/test_determinism.py``).  A cell whose runner raises — or
+    kills its worker — is recorded in ``report.failures`` and the
+    campaign continues.
+    """
     store = ResultStore(store_dir) if store_dir else None
     report = CampaignReport(campaign=campaign)
-    for pipeline, placement_name, clients in campaign.cells:
-        if progress is not None:
-            progress(f"{pipeline} / {placement_name} / {clients} "
-                     f"client(s)")
-        placement = resolve_placement(placement_name)
-        metrics = replicate_experiment(
-            placement, num_clients=clients,
-            duration_s=campaign.duration_s, seeds=campaign.seeds,
-            runner=RUNNERS[pipeline])
-        report.cells[(pipeline, placement_name, clients)] = metrics
+    announced = set()
+
+    def cell_progress(outcome: TaskOutcome) -> None:
+        cell = outcome.task.cell
+        if progress is not None and cell not in announced:
+            announced.add(cell)
+            progress(f"{cell[0]} / {cell[1]} / {cell[2]} client(s)")
+
+    tasks = plan_tasks(campaign)
+    outcomes = run_tasks(tasks, workers=workers or 0,
+                         progress=task_progress)
+    by_cell: Dict[Tuple[str, str, int], List[TaskOutcome]] = {}
+    for outcome in outcomes:  # plan order ⇒ seeds stay ordered
+        by_cell.setdefault(outcome.task.cell, []).append(outcome)
+        cell_progress(outcome)
+
+    for cell in campaign.cells:
+        cell_outcomes = by_cell.get(cell, [])
+        failures = [o.failure for o in cell_outcomes if not o.ok]
+        if failures:
+            report.failures[cell] = failures
+            if store is not None:
+                store.save(campaign.cell_name(*cell),
+                           _failure_summary(campaign, cell, failures))
+            continue
+        metrics = aggregate_summaries(
+            [o.summary for o in cell_outcomes])
+        digests = {o.task.seed: o.digest for o in cell_outcomes
+                   if o.digest is not None}
+        report.cells[cell] = metrics
+        report.digests[cell] = digests
         if store is not None:
-            summary = {name: {"mean": metric.mean,
-                              "std": metric.std,
-                              "ci95": metric.ci95_halfwidth,
-                              "values": list(metric.values)}
-                       for name, metric in metrics.items()}
-            summary.update({"pipeline": pipeline,
-                            "config": placement_name,
-                            "clients": clients,
-                            "seeds": list(campaign.seeds)})
-            store.save(campaign.cell_name(pipeline, placement_name,
-                                          clients), summary)
+            store.save(campaign.cell_name(*cell),
+                       _cell_summary(campaign, cell, metrics, digests))
     return report
 
 
@@ -174,4 +242,14 @@ def render_report(report: CampaignReport,
                 rows.append(row)
         blocks.append(f"\n## {pipeline}\n" + format_table(
             ["config", "clients"] + list(metrics), rows))
+    if report.failures:
+        rows = []
+        for cell in sorted(report.failures):
+            for failure in report.failures[cell]:
+                rows.append([cell[0], cell[1], cell[2],
+                             failure.task.seed, failure.kind,
+                             failure.error.splitlines()[0][:60]])
+        blocks.append("\n## failed cells\n" + format_table(
+            ["pipeline", "config", "clients", "seed", "kind",
+             "error"], rows))
     return "\n".join(blocks)

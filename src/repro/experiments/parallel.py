@@ -1,0 +1,251 @@
+"""Sharded, crash-isolated campaign execution.
+
+A campaign grid (pipelines × placements × client counts × seeds) is
+embarrassingly parallel: every *(cell, seed)* task builds its own
+simulator, testbed and RNG registry from scratch, so tasks share no
+state and can run in any order on any worker.  This module turns that
+observation into a runner:
+
+* :func:`plan_tasks` enumerates the grid in a canonical order — the
+  single source of truth both the serial and the sharded paths use;
+* :func:`shard_tasks` partitions a plan deterministically
+  (round-robin), so a given ``(plan, workers)`` pair always produces
+  the same shard assignment;
+* :func:`run_tasks` executes a plan either in-process (``workers=0``)
+  or across a ``ProcessPoolExecutor`` (``workers>=1``), with per-task
+  progress reporting and crash isolation: a task that raises is
+  recorded as a :class:`CellFailure`, and a task that *kills its
+  worker* (breaking the pool) is quarantined — every other in-flight
+  task is retried in a fresh pool, and only the lethal task is marked
+  failed.
+
+The determinism contract — same seed ⇒ identical metrics and identical
+:class:`~repro.sim.kernel.TraceDigest` fingerprint regardless of
+worker count, scheduling order, or process boundary — is enforced by
+``tests/test_determinism.py`` against this module.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+#: ``(pipeline, placement, clients)`` — one cell of the campaign grid.
+Cell = Tuple[str, str, int]
+
+Progress = Optional[Callable[[str], None]]
+
+
+@dataclass(frozen=True)
+class CellTask:
+    """One unit of sharded work: a single seed of a single cell."""
+
+    pipeline: str
+    placement: str
+    clients: int
+    seed: int
+    duration_s: float
+
+    @property
+    def cell(self) -> Cell:
+        return (self.pipeline, self.placement, self.clients)
+
+    def __str__(self) -> str:
+        return (f"{self.pipeline}/{self.placement}/"
+                f"{self.clients}c/seed{self.seed}")
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """Why one task did not produce a result.
+
+    ``kind`` is one of ``"exception"`` (the runner raised),
+    ``"worker-lost"`` (the worker process died — SIGKILL, OOM,
+    interpreter abort) or ``"duplicate"`` (the same task was submitted
+    twice; the second submission is refused).
+    """
+
+    task: CellTask
+    kind: str
+    error: str
+    traceback: str = ""
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Result (or failure) of one task, in plan order."""
+
+    task: CellTask
+    summary: Optional[Dict] = None
+    failure: Optional[CellFailure] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    @property
+    def digest(self) -> Optional[str]:
+        if self.summary is None:
+            return None
+        return self.summary.get("trace_digest")
+
+
+def plan_tasks(campaign, *, seeds: Optional[Sequence[int]] = None
+               ) -> List[CellTask]:
+    """Enumerate a campaign's tasks in canonical (cell, seed) order."""
+    seeds = list(campaign.seeds if seeds is None else seeds)
+    return [CellTask(pipeline=pipeline, placement=placement,
+                     clients=clients, seed=seed,
+                     duration_s=campaign.duration_s)
+            for pipeline, placement, clients in campaign.cells
+            for seed in seeds]
+
+
+def shard_tasks(tasks: Sequence[CellTask],
+                shards: int) -> List[List[CellTask]]:
+    """Deterministic round-robin partition of a plan.
+
+    Shard *i* receives ``tasks[i::shards]``; every task lands in
+    exactly one shard and the assignment depends only on plan order
+    and shard count — never on timing.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return [list(tasks[index::shards]) for index in range(shards)]
+
+
+def run_cell_task(task: CellTask) -> Dict:
+    """Execute one task hermetically and return its summary dict.
+
+    The summary carries the scalar QoS metrics plus the run's
+    ``trace_digest``.  Runners registered in
+    :data:`repro.experiments.campaign.RUNNERS` may also return a
+    ready-made summary dict (used by tests to fake cheap cells).
+    """
+    # Imported lazily: campaign.py imports this module at top level.
+    from repro.experiments.campaign import RUNNERS, resolve_placement
+    from repro.experiments.store import summarize_result
+
+    runner = RUNNERS[task.pipeline]
+    placement = resolve_placement(task.placement)
+    result = runner(placement, num_clients=task.clients,
+                    duration_s=task.duration_s, seed=task.seed)
+    return result if isinstance(result, dict) \
+        else summarize_result(result)
+
+
+def _execute(task: CellTask) -> Tuple:
+    """Worker entry point: never raises, returns a tagged payload."""
+    try:
+        return ("ok", run_cell_task(task))
+    except Exception as exc:
+        return ("error", f"{type(exc).__name__}: {exc}",
+                traceback.format_exc())
+
+
+def _outcome(task: CellTask, payload: Tuple) -> TaskOutcome:
+    if payload[0] == "ok":
+        return TaskOutcome(task=task, summary=payload[1])
+    return TaskOutcome(task=task, failure=CellFailure(
+        task=task, kind="exception", error=payload[1],
+        traceback=payload[2]))
+
+
+def _lost_worker(task: CellTask) -> TaskOutcome:
+    return TaskOutcome(task=task, failure=CellFailure(
+        task=task, kind="worker-lost",
+        error="worker process died while executing this task"))
+
+
+class _Reporter:
+    """Serializes per-task progress lines `[done/total] task: status`."""
+
+    def __init__(self, progress: Progress, total: int):
+        self._progress = progress
+        self._total = total
+        self._done = 0
+
+    def report(self, outcome: TaskOutcome) -> None:
+        self._done += 1
+        if self._progress is None:
+            return
+        status = "ok" if outcome.ok else \
+            f"FAILED ({outcome.failure.kind})"
+        self._progress(f"[{self._done}/{self._total}] "
+                       f"{outcome.task}: {status}")
+
+
+def _quarantine(tasks: List[Tuple[int, CellTask]],
+                outcomes: Dict[int, TaskOutcome],
+                reporter: _Reporter) -> None:
+    """Retry pool-breakage casualties one at a time, each in a fresh
+    single-worker pool, so only the genuinely lethal task fails."""
+    for index, task in tasks:
+        try:
+            with ProcessPoolExecutor(max_workers=1) as solo:
+                payload = solo.submit(_execute, task).result()
+            outcomes[index] = _outcome(task, payload)
+        except BrokenProcessPool:
+            outcomes[index] = _lost_worker(task)
+        reporter.report(outcomes[index])
+
+
+def run_tasks(tasks: Sequence[CellTask], *, workers: int = 0,
+              progress: Progress = None) -> List[TaskOutcome]:
+    """Execute a plan and return one outcome per task, in plan order.
+
+    ``workers=0`` runs every task in-process (serial); ``workers>=1``
+    shards across that many processes.  Either way the returned list
+    is ordered and keyed by the plan, so downstream aggregation is
+    independent of completion order.  Duplicate submissions are
+    refused: the first occurrence runs, later ones are recorded as
+    ``"duplicate"`` failures.
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    tasks = list(tasks)
+    outcomes: Dict[int, TaskOutcome] = {}
+    reporter = _Reporter(progress, len(tasks))
+
+    runnable: List[Tuple[int, CellTask]] = []
+    first_index: Dict[CellTask, int] = {}
+    for index, task in enumerate(tasks):
+        if task in first_index:
+            outcomes[index] = TaskOutcome(task=task, failure=CellFailure(
+                task=task, kind="duplicate",
+                error=f"duplicate submission of {task} (first submitted "
+                      f"at plan index {first_index[task]})"))
+            reporter.report(outcomes[index])
+            continue
+        first_index[task] = index
+        runnable.append((index, task))
+
+    if workers == 0:
+        for index, task in runnable:
+            outcomes[index] = _outcome(task, _execute(task))
+            reporter.report(outcomes[index])
+        return [outcomes[index] for index in range(len(tasks))]
+
+    casualties: List[Tuple[int, CellTask]] = []
+    with ProcessPoolExecutor(
+            max_workers=min(workers, max(1, len(runnable)))) as pool:
+        futures = {pool.submit(_execute, task): (index, task)
+                   for index, task in runnable}
+        for future in as_completed(futures):
+            index, task = futures[future]
+            try:
+                payload = future.result()
+            except BrokenProcessPool:
+                # Either this task killed its worker or it is
+                # collateral damage of another task doing so; the
+                # quarantine pass below tells the two apart.
+                casualties.append((index, task))
+                continue
+            outcomes[index] = _outcome(task, payload)
+            reporter.report(outcomes[index])
+    casualties.sort(key=lambda pair: pair[0])
+    _quarantine(casualties, outcomes, reporter)
+    return [outcomes[index] for index in range(len(tasks))]

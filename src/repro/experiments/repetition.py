@@ -61,12 +61,16 @@ REPLICATED_METRICS = ("fps", "success_rate", "e2e_ms", "jitter_ms",
                       "qoe_mos")
 
 
-def replicate(run_fn: Callable[[int], Dict],
-              seeds: Sequence[int]) -> Dict[str, ReplicatedMetric]:
-    """Run ``run_fn(seed)`` per seed; aggregate its scalar outputs."""
-    if not seeds:
-        raise ValueError("need at least one seed")
-    summaries: List[Dict] = [run_fn(seed) for seed in seeds]
+def aggregate_summaries(summaries: Sequence[Dict]
+                        ) -> Dict[str, ReplicatedMetric]:
+    """Aggregate per-seed result summaries into replicated metrics.
+
+    ``summaries`` must be ordered by seed; the order is preserved in
+    each metric's ``values`` so serial and sharded campaign runs
+    aggregate bit-identically.
+    """
+    if not summaries:
+        raise ValueError("need at least one summary")
     aggregated = {}
     for metric in REPLICATED_METRICS:
         if all(metric in summary for summary in summaries):
@@ -74,6 +78,15 @@ def replicate(run_fn: Callable[[int], Dict],
                 name=metric,
                 values=tuple(float(s[metric]) for s in summaries))
     return aggregated
+
+
+def replicate(run_fn: Callable[[int], Dict],
+              seeds: Sequence[int]) -> Dict[str, ReplicatedMetric]:
+    """Run ``run_fn(seed)`` per seed; aggregate its scalar outputs."""
+    if not seeds:
+        raise ValueError("need at least one seed")
+    summaries: List[Dict] = [run_fn(seed) for seed in seeds]
+    return aggregate_summaries(summaries)
 
 
 def replicate_experiment(placement: PlacementConfig, *,

@@ -53,6 +53,9 @@ class ExperimentResult:
     #: Per-fault MTTR / availability report; present only for chaos
     #: runs (see :func:`run_resilience_experiment`).
     resilience: Optional[object] = None
+    #: Hex fingerprint of the kernel's event trajectory — the
+    #: determinism-contract witness (same seed ⇒ same digest).
+    trace_digest: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Client QoS aggregates
@@ -177,7 +180,8 @@ def run_scatter_experiment(
         config_name=placement.name, num_clients=num_clients,
         duration_s=duration_s,
         clients=[c.stats for c in clients], pipeline=pipeline,
-        monitor=orchestrator.monitor, testbed=testbed, tracer=tracer)
+        monitor=orchestrator.monitor, testbed=testbed, tracer=tracer,
+        trace_digest=sim.fingerprint())
 
 
 def run_scatterpp_experiment(
@@ -216,7 +220,8 @@ def run_scatterpp_experiment(
         duration_s=duration_s,
         clients=[c.stats for c in clients], pipeline=pipeline,
         monitor=orchestrator.monitor, testbed=testbed,
-        analytics=analytics, tracer=tracer)
+        analytics=analytics, tracer=tracer,
+        trace_digest=sim.fingerprint())
 
 
 def run_ramp_experiment(
@@ -260,7 +265,7 @@ def run_ramp_experiment(
         duration_s=total_s,
         clients=[c.stats for c in clients], pipeline=pipeline,
         monitor=orchestrator.monitor, testbed=testbed,
-        analytics=analytics)
+        analytics=analytics, trace_digest=sim.fingerprint())
 
 
 def run_resilience_experiment(
@@ -318,4 +323,4 @@ def run_resilience_experiment(
         duration_s=duration_s,
         clients=[c.stats for c in clients], pipeline=pipeline,
         monitor=orchestrator.monitor, testbed=testbed,
-        resilience=report)
+        resilience=report, trace_digest=sim.fingerprint())

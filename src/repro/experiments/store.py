@@ -10,7 +10,9 @@ maintainer runs before accepting a calibration change.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import tempfile
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Union
 
@@ -34,11 +36,18 @@ def summarize_result(result) -> Dict:
         "cpu_util": result.machine_cpu_util(),
         "gpu_util": result.machine_gpu_util(),
         "drops": result.drop_counts(),
+        "trace_digest": getattr(result, "trace_digest", None),
     }
 
 
 class ResultStore:
-    """A directory of named JSON result summaries."""
+    """A directory of named JSON result summaries.
+
+    Safe for concurrent writers: every :meth:`save` serializes first,
+    writes to a temporary file in the same directory, then atomically
+    renames over the target, so a reader (or a crashed writer) can
+    never observe a truncated or partially-written entry.
+    """
 
     def __init__(self, directory: PathLike):
         self.directory = pathlib.Path(directory)
@@ -50,12 +59,44 @@ class ResultStore:
         return self.directory / f"{name}.json"
 
     def save(self, name: str, result) -> pathlib.Path:
-        """Summarize and persist a result under ``name``."""
+        """Summarize and persist a result under ``name`` (atomic)."""
         summary = (result if isinstance(result, dict)
                    else summarize_result(result))
         path = self._path(name)
-        path.write_text(json.dumps(summary, indent=2, sort_keys=True))
+        # Serialize before touching the filesystem so a failure here
+        # leaves any previous entry untouched.
+        payload = json.dumps(summary, indent=2, sort_keys=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{name}.", suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w") as temp_file:
+                temp_file.write(payload)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
         return path
+
+    def merge(self, source: Union["ResultStore", PathLike], *,
+              overwrite: bool = True) -> List[str]:
+        """Fold another store's entries into this one.
+
+        Each entry is re-saved atomically, so merging per-worker shard
+        stores into the campaign store is safe even while workers are
+        still writing.  Returns the names merged (sorted).
+        """
+        other = (source if isinstance(source, ResultStore)
+                 else ResultStore(source))
+        merged: List[str] = []
+        for name in other.names():
+            if not overwrite and self._path(name).exists():
+                continue
+            self.save(name, other.load(name))
+            merged.append(name)
+        return merged
 
     def load(self, name: str) -> Dict:
         path = self._path(name)

@@ -17,6 +17,7 @@ from repro.sim.kernel import (
     SimulationError,
     Simulator,
     Timeout,
+    TraceDigest,
 )
 from repro.sim.resources import Resource, Store, StoreFullError
 from repro.sim.rng import RngRegistry
@@ -34,4 +35,5 @@ __all__ = [
     "Store",
     "StoreFullError",
     "Timeout",
+    "TraceDigest",
 ]

@@ -16,12 +16,57 @@ given seed always produces the same trajectory.
 
 from __future__ import annotations
 
+import hashlib
 import heapq
+import struct
 from typing import Any, Callable, Generator, Iterable, Optional
 
 
 class SimulationError(RuntimeError):
     """Raised for kernel misuse (e.g. negative delays, double-fire)."""
+
+
+class TraceDigest:
+    """A running fingerprint of the event trajectory.
+
+    Every event the kernel executes folds ``(time, seq, kind)`` into a
+    blake2b hash, where *kind* is the qualified name of the callback.
+    Two runs with the same fingerprint executed the same events, at the
+    same virtual times, in the same order — which makes the digest a
+    cheap replayable witness for the determinism contract: same seed ⇒
+    same digest, regardless of worker count or process boundary.
+
+    Deliberately avoids ``hash()`` (randomized per process via
+    ``PYTHONHASHSEED``) so fingerprints compare across processes.
+    """
+
+    __slots__ = ("_hash", "events")
+
+    def __init__(self) -> None:
+        self._hash = hashlib.blake2b(digest_size=16)
+        self.events = 0
+
+    def record(self, when: float, seq: int, kind: str) -> None:
+        """Fold one executed event into the fingerprint."""
+        self._hash.update(struct.pack("<dQ", when, seq))
+        self._hash.update(kind.encode("utf-8", "replace"))
+        self.events += 1
+
+    def hexdigest(self) -> str:
+        """Hex fingerprint of every event folded in so far."""
+        return self._hash.hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TraceDigest {self.hexdigest()} "
+                f"({self.events} events)>")
+
+
+def _event_kind(callback: Callable[..., None]) -> str:
+    """A process-stable label for a scheduled callback."""
+    kind = getattr(callback, "__qualname__", None)
+    if kind is None:
+        kind = type(callback).__qualname__
+    return kind
 
 
 class Interrupt(Exception):
@@ -249,16 +294,29 @@ class Process(Waitable):
 class Simulator:
     """Owns virtual time and the event heap."""
 
-    def __init__(self) -> None:
+    def __init__(self, digest: bool = True) -> None:
         self._heap: list[tuple[float, int, Callable[..., None], tuple]] = []
         self._now = 0.0
         self._seq = 0
         self._running = False
+        #: Running trace fingerprint; ``None`` when disabled.
+        self.digest: Optional[TraceDigest] = \
+            TraceDigest() if digest else None
 
     @property
     def now(self) -> float:
         """Current virtual time in seconds."""
         return self._now
+
+    def fingerprint(self) -> Optional[str]:
+        """Hex trace digest of every event executed so far.
+
+        Identical fingerprints mean identical event trajectories —
+        the determinism contract checked by
+        ``tests/test_determinism.py``.  ``None`` when the digest was
+        disabled at construction.
+        """
+        return self.digest.hexdigest() if self.digest else None
 
     def schedule(self, delay: float, callback: Callable[..., None],
                  *args: Any) -> None:
@@ -302,6 +360,9 @@ class Simulator:
                     break
                 heapq.heappop(self._heap)
                 self._now = when
+                if self.digest is not None:
+                    self.digest.record(when, _seq,
+                                       _event_kind(callback))
                 callback(*args)
             else:
                 if until is not None and until > self._now:

@@ -1,0 +1,47 @@
+"""Regenerate the golden determinism digests.
+
+Run from the repo root after an *intentional* simulation-behaviour
+change::
+
+    PYTHONPATH=src python tests/golden/regenerate_determinism.py
+
+The script replays the contract campaign twice (refusing to write if
+the two replays disagree — that would mean nondeterminism, which a
+golden file cannot paper over) and rewrites
+``tests/golden/determinism_digests.json``.
+"""
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve()
+                       .parents[2] / "src"))
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[2]))
+
+from repro.experiments.campaign import run_campaign  # noqa: E402
+
+from tests.test_determinism import (  # noqa: E402
+    CONTRACT_CAMPAIGN,
+    GOLDEN_PATH,
+    _digest_map,
+)
+
+
+def main() -> int:
+    first = _digest_map(run_campaign(CONTRACT_CAMPAIGN))
+    second = _digest_map(run_campaign(CONTRACT_CAMPAIGN))
+    if first != second:
+        print("FATAL: two back-to-back runs disagree — the kernel is "
+              "nondeterministic; fix that before regenerating.")
+        return 1
+    GOLDEN_PATH.write_text(json.dumps(
+        {"campaign": CONTRACT_CAMPAIGN.name,
+         "duration_s": CONTRACT_CAMPAIGN.duration_s,
+         "digests": first}, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {len(first)} digests to {GOLDEN_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

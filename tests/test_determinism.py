@@ -1,0 +1,109 @@
+"""Golden determinism-contract tests.
+
+The contract: same seed ⇒ identical :class:`TraceDigest` fingerprint
+and identical metrics, regardless of worker count, scheduling order,
+or process boundary.  This file enforces it three ways:
+
+* serial vs. sharded (1 and 4 workers) runs of the same small
+  campaign must agree bit-for-bit;
+* back-to-back serial runs in one process must agree (replay
+  stability — no hidden global state);
+* digests must match the committed golden file
+  (``tests/golden/determinism_digests.json``), catching
+  cross-version drift.  If a PR *intentionally* changes simulation
+  behaviour, regenerate with
+  ``python tests/golden/regenerate_determinism.py`` and commit the
+  diff — reviewers then see that the trajectory changed.
+
+CI runs this module under a ``DETERMINISM_WORKERS`` matrix; locally
+both 1 and 4 workers are exercised.
+"""
+
+import json
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.campaign import Campaign, run_campaign
+
+GOLDEN_PATH = (pathlib.Path(__file__).parent / "golden"
+               / "determinism_digests.json")
+
+#: The contract campaign: both pipelines, two cells each, two seeds —
+#: small enough for tier-1, broad enough to cover the sidecar path.
+CONTRACT_CAMPAIGN = Campaign(
+    name="determinism", pipelines=("scatter", "scatterpp"),
+    placements=("C1",), client_counts=(1, 2), duration_s=2.0,
+    seeds=(0, 1))
+
+
+def _worker_counts():
+    env = os.environ.get("DETERMINISM_WORKERS")
+    if env:
+        return tuple(int(part) for part in env.split(","))
+    return (1, 4)
+
+
+def _digest_map(report):
+    """Flatten a report's digests into {\"pipe/place/Nc/seedS\": hex}."""
+    flat = {}
+    for (pipeline, placement, clients), digests in \
+            sorted(report.digests.items()):
+        for seed, digest in sorted(digests.items()):
+            flat[f"{pipeline}/{placement}/{clients}c/seed{seed}"] = \
+                digest
+    return flat
+
+
+def _metric_map(report):
+    """Exact (not approximate) per-cell metric values."""
+    return {cell: {name: metric.values
+                   for name, metric in sorted(metrics.items())}
+            for cell, metrics in sorted(report.cells.items())}
+
+
+@pytest.fixture(scope="module")
+def serial_report():
+    report = run_campaign(CONTRACT_CAMPAIGN)
+    assert not report.failures
+    return report
+
+
+def test_serial_replay_is_stable(serial_report):
+    replay = run_campaign(CONTRACT_CAMPAIGN)
+    assert _digest_map(replay) == _digest_map(serial_report)
+    assert _metric_map(replay) == _metric_map(serial_report)
+
+
+@pytest.mark.parametrize("workers", _worker_counts())
+def test_sharded_run_matches_serial_bit_for_bit(serial_report,
+                                                workers):
+    sharded = run_campaign(CONTRACT_CAMPAIGN, workers=workers)
+    assert not sharded.failures
+    # Identical trace digests: the event trajectories were the same.
+    assert _digest_map(sharded) == _digest_map(serial_report)
+    # Identical metrics, compared exactly (no tolerance): crossing a
+    # process boundary must not perturb a single bit.
+    assert _metric_map(sharded) == _metric_map(serial_report)
+
+
+def test_every_task_produced_a_digest(serial_report):
+    flat = _digest_map(serial_report)
+    expected = (len(CONTRACT_CAMPAIGN.cells)
+                * len(CONTRACT_CAMPAIGN.seeds))
+    assert len(flat) == expected
+    assert all(len(digest) == 32 for digest in flat.values())
+    # Different seeds walk different trajectories.
+    assert flat["scatter/C1/1c/seed0"] != flat["scatter/C1/1c/seed1"]
+
+
+def test_digests_match_committed_golden_file(serial_report):
+    golden = json.loads(GOLDEN_PATH.read_text())
+    current = _digest_map(serial_report)
+    assert current == golden["digests"], (
+        "Trace digests drifted from tests/golden/"
+        "determinism_digests.json.  If this change to the simulation "
+        "is intentional, regenerate the golden file with "
+        "`python tests/golden/regenerate_determinism.py` and commit "
+        "it; otherwise the determinism contract has been broken.")

@@ -192,3 +192,112 @@ def test_percentile_e2e(sample_result):
 def test_summary_includes_tail_latency(sample_result):
     summary = summarize_result(sample_result)
     assert summary["p95_e2e_ms"] >= summary["e2e_ms"] * 0.8
+
+
+# ----------------------------------------------------------------------
+# Atomic writes, concurrent writers, merging
+# ----------------------------------------------------------------------
+def test_summary_carries_trace_digest(sample_result):
+    summary = summarize_result(sample_result)
+    assert summary["trace_digest"] == sample_result.trace_digest
+    assert isinstance(summary["trace_digest"], str)
+    assert len(summary["trace_digest"]) == 32
+
+
+def test_failed_save_preserves_previous_entry(tmp_path):
+    store = ResultStore(tmp_path)
+    store.save("cell", {"fps": 30.0})
+    with pytest.raises(TypeError):  # not JSON-serializable
+        store.save("cell", {"fps": object()})
+    # The old entry is untouched and no temp litter remains.
+    assert store.load("cell") == {"fps": 30.0}
+    assert [p.name for p in tmp_path.iterdir()] == ["cell.json"]
+
+
+def test_save_leaves_no_temp_files(tmp_path):
+    store = ResultStore(tmp_path)
+    for index in range(20):
+        store.save("cell", {"value": index})
+    assert [p.name for p in tmp_path.iterdir()] == ["cell.json"]
+    assert store.load("cell") == {"value": 19}
+
+
+def test_concurrent_writers_never_corrupt(tmp_path):
+    """Hammer one entry from many threads; readers must always see a
+    complete JSON document (the old write_text path could expose a
+    truncated file mid-write)."""
+    import json
+    import threading
+
+    store = ResultStore(tmp_path)
+    payload = {"values": list(range(5000))}  # big enough to straddle
+    store.save("hot", payload)               # one write() buffer
+    errors = []
+    stop = threading.Event()
+
+    def writer():
+        for __ in range(30):
+            try:
+                store.save("hot", payload)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+    def reader():
+        while not stop.is_set():
+            try:
+                loaded = store.load("hot")
+                assert loaded == payload
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+    writers = [threading.Thread(target=writer) for __ in range(4)]
+    readers = [threading.Thread(target=reader) for __ in range(2)]
+    for thread in readers + writers:
+        thread.start()
+    for thread in writers:
+        thread.join()
+    stop.set()
+    for thread in readers:
+        thread.join()
+    assert errors == []
+    assert json.loads((tmp_path / "hot.json").read_text()) == payload
+
+
+def test_concurrent_process_writers(tmp_path):
+    """Multiple worker processes writing distinct cells — the sharded
+    campaign's store access pattern."""
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=4) as pool:
+        list(pool.map(_store_stress_write,
+                      [(str(tmp_path), f"cell-{i}", i)
+                       for i in range(12)]))
+    store = ResultStore(tmp_path)
+    assert store.names() == sorted(f"cell-{i}" for i in range(12))
+    for index in range(12):
+        assert store.load(f"cell-{index}") == {"value": index}
+
+
+def _store_stress_write(args):
+    directory, name, value = args
+    store = ResultStore(directory)
+    for __ in range(10):
+        store.save(name, {"value": value})
+
+
+def test_merge_stores(tmp_path):
+    target = ResultStore(tmp_path / "campaign")
+    target.save("a", {"fps": 1.0})
+    shard = ResultStore(tmp_path / "shard0")
+    shard.save("a", {"fps": 2.0})
+    shard.save("b", {"fps": 3.0})
+
+    merged = target.merge(shard)
+    assert merged == ["a", "b"]
+    assert target.load("a") == {"fps": 2.0}
+    assert target.load("b") == {"fps": 3.0}
+
+    # Without overwrite, existing entries win.
+    shard.save("a", {"fps": 9.0})
+    assert target.merge(tmp_path / "shard0", overwrite=False) == []
+    assert target.load("a") == {"fps": 2.0}
