@@ -1,0 +1,139 @@
+"""Vision-kernel throughput — reference vs vectorized vs cached.
+
+The workload models the paper's §3.2 setup: every client replays the
+same looped video, so the recognition pipeline sees the *same frames
+over and over*.  Each frame is pushed through SIFT → PCA → Fisher
+three ways:
+
+* **reference** — the per-keypoint/per-row loop twins from
+  :mod:`repro.vision.reference` (the bit-identity baseline);
+* **vectorized** — the batched production kernels, caching disabled;
+* **cached** — the batched kernels behind the content-addressed
+  :class:`~repro.vision.cache.FeatureCache` (every repeat is a hit).
+
+All three produce bit-identical descriptors and encodings (enforced by
+``tests/test_kernel_equivalence.py``; spot-checked again here), so the
+frames/sec ratio is a pure like-for-like speedup.  Results land in
+``benchmarks/results/BENCH_perf_kernels.json`` together with the
+cached run's per-stage profiler attribution.
+
+Set ``PERF_KERNELS_SMOKE=1`` to shrink the workload (CI).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.metrics.profiling import StageProfiler
+from repro.scatter.content import FrameFeatureExtractor
+from repro.vision.cache import FeatureCache
+from repro.vision.fisher import FisherEncoder, GaussianMixture
+from repro.vision.image import to_grayscale
+from repro.vision.pca import Pca
+from repro.vision.reference import (
+    ReferenceSiftExtractor,
+    reference_fisher_encode,
+)
+from repro.vision.sift import SiftExtractor
+from repro.vision.video import SyntheticVideo
+
+from benchmarks.conftest import RESULTS_DIR
+
+SMOKE = os.environ.get("PERF_KERNELS_SMOKE") == "1"
+#: Distinct frames per loop, and how often each repeats (≈ clients).
+DISTINCT_FRAMES = 2 if SMOKE else 5
+REPEATS = 3 if SMOKE else 6
+FRAME_SIZE = (96, 128) if SMOKE else (144, 192)
+
+
+def _workload():
+    """Frame numbers as N clients replaying the same loop would."""
+    distinct = [i * 7 for i in range(DISTINCT_FRAMES)]
+    return distinct * REPEATS
+
+
+def _trained_stack():
+    video = SyntheticVideo(seed=0, size=FRAME_SIZE)
+    extractor = SiftExtractor(max_keypoints=150)
+    descriptors = np.vstack([
+        extractor.detect_and_describe(
+            to_grayscale(video.frame(n).image))[1]
+        for n in (0, 7)])
+    pca = Pca(8).fit(descriptors)
+    gmm = GaussianMixture(2, seed=0).fit(pca.transform(descriptors))
+    return video, extractor, pca, FisherEncoder(gmm)
+
+
+def _timed(fn, frames) -> tuple:
+    start = time.perf_counter()
+    outputs = [fn(number) for number in frames]
+    elapsed = time.perf_counter() - start
+    return len(frames) / elapsed, outputs
+
+
+def test_kernel_throughput(save_result):
+    video, extractor, pca, encoder = _trained_stack()
+    frames = _workload()
+    gray = {number: to_grayscale(video.frame(number).image)
+            for number in set(frames)}
+
+    reference_extractor = ReferenceSiftExtractor(extractor)
+
+    def reference_frame(number):
+        __, descriptors = \
+            reference_extractor.detect_and_describe(gray[number])
+        return reference_fisher_encode(encoder,
+                                       pca.transform(descriptors))
+
+    def vectorized_frame(number):
+        __, descriptors = extractor.detect_and_describe(gray[number])
+        return encoder.encode(pca.transform(descriptors))
+
+    profiler = StageProfiler()
+    cached_backend = FrameFeatureExtractor(
+        video, extractor, pca=pca, encoder=encoder,
+        cache=FeatureCache(), profiler=profiler)
+
+    reference_fps, reference_out = _timed(reference_frame, frames)
+    vectorized_fps, vectorized_out = _timed(vectorized_frame, frames)
+    cached_fps, cached_out = _timed(cached_backend.encoding, frames)
+
+    # The three paths remain bit-identical (the full sweep lives in
+    # tests/test_kernel_equivalence.py).
+    for ref, vec, hit in zip(reference_out, vectorized_out,
+                             cached_out):
+        assert ref.tobytes() == vec.tobytes() == hit.tobytes()
+    stats = cached_backend.stats()
+    assert stats.hits > 0  # repeats actually hit the cache
+
+    entry = {
+        "workload": {
+            "distinct_frames": DISTINCT_FRAMES,
+            "repeats": REPEATS,
+            "frame_size": list(FRAME_SIZE),
+            "smoke": SMOKE,
+        },
+        "reference_fps": round(reference_fps, 3),
+        "vectorized_fps": round(vectorized_fps, 3),
+        "cached_fps": round(cached_fps, 3),
+        "vectorized_speedup": round(vectorized_fps / reference_fps, 2),
+        "cached_speedup": round(cached_fps / reference_fps, 2),
+        "cache": stats.as_dict(),
+        "profile": profiler.as_dict(),
+        "bit_identical": True,
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_perf_kernels.json").write_text(
+        json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    save_result("perf_kernels", json.dumps(entry, indent=2,
+                                           sort_keys=True))
+
+    # The acceptance bar: vectorized + cached is at least 2x the loop
+    # reference on a repeated-frame workload.  In practice the gap is
+    # one to two orders of magnitude.
+    assert vectorized_fps > reference_fps, entry
+    assert cached_fps >= 2.0 * reference_fps, entry

@@ -35,6 +35,25 @@ from repro.scatter.config import (
 )
 
 
+def _disable_feature_cache_if_requested(args: argparse.Namespace) -> None:
+    """Honor ``--no-feature-cache`` for this process *and* workers.
+
+    The flag is carried through the environment
+    (:data:`repro.vision.cache.DISABLE_ENV`) so campaign worker
+    processes — which build their own per-process default cache —
+    inherit it.  Results are bit-identical either way; the flag only
+    trades wall-clock time for memory.
+    """
+    if not getattr(args, "no_feature_cache", False):
+        return
+    import os
+
+    from repro.vision.cache import (DISABLE_ENV,
+                                    reset_default_feature_cache)
+    os.environ[DISABLE_ENV] = "1"
+    reset_default_feature_cache()
+
+
 def _print_qos_rows(rows: List[dict]) -> None:
     print(qos_table(rows))
     print()
@@ -156,6 +175,7 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    _disable_feature_cache_if_requested(args)
     config = _named_config(args.config)
     runner = (run_scatterpp_experiment
               if args.pipeline == "scatterpp"
@@ -196,6 +216,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign(args: argparse.Namespace) -> int:
+    _disable_feature_cache_if_requested(args)
     from repro.experiments.campaign import (
         Campaign,
         render_report,
@@ -297,6 +318,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--trace", action="store_true",
                      help="collect per-frame traces and print the "
                           "latency breakdown")
+    run.add_argument("--no-feature-cache", action="store_true",
+                     help="disable the content-addressed feature "
+                          "cache (results are bit-identical; only "
+                          "wall-clock time changes)")
 
     testbed = sub.add_parser("testbed", help="show the testbed")
     testbed.add_argument("--clients", type=int, default=4)
@@ -317,6 +342,10 @@ def build_parser() -> argparse.ArgumentParser:
                                "results are bit-identical either way")
     campaign.add_argument("--verbose", action="store_true",
                           help="print per-task progress lines")
+    campaign.add_argument("--no-feature-cache", action="store_true",
+                          help="disable the content-addressed feature "
+                               "cache in this process and all worker "
+                               "processes (bit-identical results)")
 
     optimize = sub.add_parser(
         "optimize", help="search placements analytically")

@@ -56,6 +56,14 @@ class ExperimentResult:
     #: Hex fingerprint of the kernel's event trajectory — the
     #: determinism-contract witness (same seed ⇒ same digest).
     trace_digest: Optional[str] = None
+    #: Feature-cache counters accumulated during this run (dict from
+    #: :meth:`repro.metrics.summary.CacheStats.as_dict`); real
+    #: wall-clock accounting only — never part of the digest contract.
+    feature_cache: Optional[dict] = None
+    #: Per-kernel wall-time attribution accumulated during this run
+    #: (from :class:`repro.metrics.profiling.StageProfiler`); empty
+    #: profiles are reported as None.
+    kernel_profile: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Client QoS aggregates
@@ -127,6 +135,39 @@ class ExperimentResult:
                             jitter_ms=self.mean_jitter_ms())
 
 
+class _ComputeScope:
+    """Scopes feature-cache and profiler counters to one experiment.
+
+    Snapshot the process-wide cache/profiler before the run; the
+    deltas afterwards attribute hits/misses and kernel wall time to
+    this experiment even when several runs share the process.
+    """
+
+    def __init__(self):
+        from repro.metrics.profiling import default_profiler
+        from repro.vision.cache import default_feature_cache
+
+        self._cache = default_feature_cache()
+        self._profiler = default_profiler()
+        self._cache_before = self._cache.stats()
+        self._profile_before = self._profiler.snapshot()
+
+    def cache_delta(self) -> Optional[dict]:
+        delta = self._cache.stats().delta(self._cache_before)
+        if delta.lookups == 0 and delta.insertions == 0:
+            return None
+        return delta.as_dict()
+
+    def profile_delta(self) -> Optional[dict]:
+        delta = self._profiler.delta(self._profile_before)
+        if not delta:
+            return None
+        return {name: {"calls": record.calls,
+                       "total_ms": record.total_ms,
+                       "mean_ms": record.mean_ms}
+                for name, record in delta.items()}
+
+
 def _build(placement: PlacementConfig, num_clients: int, seed: int,
            client_netem: Optional[Netem],
            pipeline_kwargs: Optional[dict],
@@ -170,6 +211,7 @@ def run_scatter_experiment(
         pipeline_kwargs: Optional[dict] = None,
         tracing: bool = False) -> ExperimentResult:
     """Deploy scAtteR per ``placement`` and run ``num_clients``."""
+    scope = _ComputeScope()
     sim, testbed, orchestrator, pipeline, clients = _build(
         placement, num_clients, seed, client_netem, pipeline_kwargs)
     tracer = _attach_tracer(orchestrator, clients) if tracing else None
@@ -181,7 +223,9 @@ def run_scatter_experiment(
         duration_s=duration_s,
         clients=[c.stats for c in clients], pipeline=pipeline,
         monitor=orchestrator.monitor, testbed=testbed, tracer=tracer,
-        trace_digest=sim.fingerprint())
+        trace_digest=sim.fingerprint(),
+        feature_cache=scope.cache_delta(),
+        kernel_profile=scope.profile_delta())
 
 
 def run_scatterpp_experiment(
@@ -203,6 +247,7 @@ def run_scatterpp_experiment(
     kwargs = scatterpp_pipeline_kwargs(
         threshold_s=threshold_s, stateless_sift=stateless_sift,
         with_sidecars=with_sidecars)
+    scope = _ComputeScope()
     sim, testbed, orchestrator, pipeline, clients = _build(
         placement, num_clients, seed, client_netem, kwargs)
     analytics = None
@@ -221,7 +266,9 @@ def run_scatterpp_experiment(
         clients=[c.stats for c in clients], pipeline=pipeline,
         monitor=orchestrator.monitor, testbed=testbed,
         analytics=analytics, tracer=tracer,
-        trace_digest=sim.fingerprint())
+        trace_digest=sim.fingerprint(),
+        feature_cache=scope.cache_delta(),
+        kernel_profile=scope.profile_delta())
 
 
 def run_ramp_experiment(
@@ -242,6 +289,7 @@ def run_ramp_experiment(
     from repro.scatterpp.pipeline import scatterpp_pipeline_kwargs
 
     kwargs = scatterpp_pipeline_kwargs(threshold_s=threshold_s)
+    scope = _ComputeScope()
     sim, testbed, orchestrator, pipeline, clients = _build(
         placement, max_clients, seed, None, kwargs)
     analytics = SidecarAnalytics(sim)
@@ -265,7 +313,9 @@ def run_ramp_experiment(
         duration_s=total_s,
         clients=[c.stats for c in clients], pipeline=pipeline,
         monitor=orchestrator.monitor, testbed=testbed,
-        analytics=analytics, trace_digest=sim.fingerprint())
+        analytics=analytics, trace_digest=sim.fingerprint(),
+        feature_cache=scope.cache_delta(),
+        kernel_profile=scope.profile_delta())
 
 
 def run_resilience_experiment(
@@ -304,6 +354,7 @@ def run_resilience_experiment(
 
         pipeline_kwargs = scatterpp_pipeline_kwargs(
             threshold_s=threshold_s)
+    scope = _ComputeScope()
     sim, testbed, orchestrator, pipeline, clients = _build(
         placement, num_clients, seed, client_netem, pipeline_kwargs,
         resilience=resilience, watchdog=False)
@@ -323,4 +374,6 @@ def run_resilience_experiment(
         duration_s=duration_s,
         clients=[c.stats for c in clients], pipeline=pipeline,
         monitor=orchestrator.monitor, testbed=testbed,
-        resilience=report, trace_digest=sim.fingerprint())
+        resilience=report, trace_digest=sim.fingerprint(),
+        feature_cache=scope.cache_delta(),
+        kernel_profile=scope.profile_delta())

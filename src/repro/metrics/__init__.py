@@ -12,18 +12,27 @@ read together (insight I):
 """
 
 from repro.metrics.hardware import HardwareMonitor, HardwareSample
+from repro.metrics.profiling import (StageProfiler, StageRecord,
+                                     default_profiler)
 from repro.metrics.qos import ClientStats
-from repro.metrics.summary import SampleReservoir, Summary, summarize
+from repro.metrics.summary import (CacheStats, SampleReservoir,
+                                   Summary, safe_percentile,
+                                   summarize)
 
 __all__ = [
+    "CacheStats",
     "ClientStats",
     "FaultRecovery",
     "HardwareMonitor",
     "HardwareSample",
     "ResilienceReport",
     "SampleReservoir",
+    "StageProfiler",
+    "StageRecord",
     "Summary",
     "build_resilience_report",
+    "default_profiler",
+    "safe_percentile",
     "summarize",
 ]
 

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -63,18 +63,86 @@ class Summary:
                 f"median={self.median:.3f} p95={self.p95:.3f}")
 
 
+def safe_percentile(values: Iterable[float],
+                    q: float) -> Optional[float]:
+    """Percentile that degrades to ``None`` instead of raising.
+
+    Reservoirs for stages that never saw a sample (a service that was
+    down the whole run, a cache that was disabled) are empty, and
+    chaos runs can inject NaN placeholders for dropped measurements.
+    ``np.percentile`` raises on the former and poisons the latter;
+    reports must render both as "no data", not crash.
+    """
+    data = np.asarray([float(v) for v in values], dtype=float)
+    data = data[np.isfinite(data)]
+    if data.size == 0:
+        return None
+    return float(np.percentile(data, q))
+
+
 def summarize(values: Iterable[float]) -> Summary:
-    """Summarize a sample; an empty sample summarizes to zeros."""
+    """Summarize a sample; an empty sample summarizes to zeros.
+
+    Non-finite samples (NaN/inf placeholders) are excluded so a
+    single dropped measurement cannot poison every aggregate.
+    """
     data: List[float] = [float(v) for v in values]
-    if not data:
+    array = np.asarray(data, dtype=float)
+    array = array[np.isfinite(array)]
+    if array.size == 0:
         return Summary(count=0, mean=0.0, median=0.0, p95=0.0,
                        minimum=0.0, maximum=0.0)
-    array = np.asarray(data)
     return Summary(
-        count=len(data),
+        count=int(array.size),
         mean=float(array.mean()),
         median=float(np.median(array)),
         p95=float(np.percentile(array, 95)),
         minimum=float(array.min()),
         maximum=float(array.max()),
     )
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counter snapshot for a content-addressed cache.
+
+    Instances are immutable snapshots; the live cache mutates its own
+    counters and exposes them through ``stats()``.  ``delta`` supports
+    per-cell scoping: take a snapshot before a cell runs, another
+    after, and the difference attributes hits/misses to that cell even
+    when the cache object is shared across cells in one process.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    entries: int = 0
+    size_bytes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        """Hit fraction, or ``None`` when there were no lookups."""
+        if self.lookups == 0:
+            return None
+        return self.hits / self.lookups
+
+    def delta(self, earlier: "CacheStats") -> "CacheStats":
+        """Counters accumulated since ``earlier`` (gauges kept as-is)."""
+        return CacheStats(
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            insertions=self.insertions - earlier.insertions,
+            evictions=self.evictions - earlier.evictions,
+            entries=self.entries,
+            size_bytes=self.size_bytes,
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = asdict(self)
+        payload["hit_rate"] = self.hit_rate
+        return payload

@@ -208,10 +208,23 @@ class LocalFallbackTracker:
 
     def __init__(self, *, max_keypoints: int = 150,
                  threshold: float = 0.06,
-                 max_coast_frames: int = 120, seed: int = 0):
+                 max_coast_frames: int = 120, seed: int = 0,
+                 feature_cache=None):
         self.max_keypoints = max_keypoints
         self.threshold = threshold
         self._brief = BriefDescriptor(seed=seed)
+        # Content-addressed FAST+BRIEF cache: looped replay videos
+        # re-degrade the same frames, so corner detection and binary
+        # description are lookups after the first outage loop.  Cached
+        # results are bit-identical to recomputes (no trajectory
+        # impact).
+        if feature_cache is None:
+            from repro.vision.cache import default_feature_cache
+
+            feature_cache = default_feature_cache()
+        self._feature_cache = feature_cache
+        self._fast_fingerprint = ("fast-brief", max_keypoints,
+                                  threshold, seed)
         self.tracker = ObjectTracker(max_misses=max_coast_frames,
                                      min_hits=1)
         self._anchors: List[Recognition] = []
@@ -234,11 +247,23 @@ class LocalFallbackTracker:
         self._prev_keypoints = []
 
     # ------------------------------------------------------------------
-    def estimate_shift(self, image: np.ndarray) -> Tuple[float, float]:
-        """Median (dx, dy) of BRIEF matches against the previous frame."""
+    def _fast_features(self, image: np.ndarray):
+        from repro.vision.cache import array_digest
+
+        key = self._fast_fingerprint + (array_digest(image),)
+        keypoints, descriptors = self._feature_cache.get_or_compute(
+            key, lambda: self._fast_features_uncached(image))
+        return list(keypoints), descriptors
+
+    def _fast_features_uncached(self, image: np.ndarray):
         keypoints = detect_fast(image, threshold=self.threshold,
                                 max_keypoints=self.max_keypoints)
         descriptors = self._brief.describe(image, keypoints)
+        return tuple(keypoints), descriptors
+
+    def estimate_shift(self, image: np.ndarray) -> Tuple[float, float]:
+        """Median (dx, dy) of BRIEF matches against the previous frame."""
+        keypoints, descriptors = self._fast_features(image)
         shift = (0.0, 0.0)
         if self._prev_descriptors is not None and len(keypoints) > 0:
             matches = match_binary(descriptors, self._prev_descriptors)

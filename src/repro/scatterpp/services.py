@@ -25,8 +25,18 @@ PACKED_WIRE_SIZES = {
 class StatelessSiftService(StreamService):
     """Feature extraction that encodes its state into the frame."""
 
+    def __init__(self, *, vision_backend=None, **kwargs):
+        super().__init__(**kwargs)
+        #: Optional real vision substrate (see
+        #: repro.scatter.content.FrameFeatureExtractor): runs actual
+        #: cached SIFT on the replayed frame.  Real wall time only —
+        #: simulated (virtual-time) cost is untouched.
+        self.vision_backend = vision_backend
+
     def process(self, record: FrameRecord):
         yield from self.compute()
+        if self.vision_backend is not None:
+            self.vision_backend.features(record.frame_number)
         downstream = record.advanced(
             "encoding",
             size_bytes=PACKED_WIRE_SIZES["sift->encoding"],
@@ -38,8 +48,15 @@ class StatelessSiftService(StreamService):
 class PackedEncodingService(StreamService):
     """PCA + Fisher encoding, forwarding the packed frame."""
 
+    def __init__(self, *, vision_backend=None, **kwargs):
+        super().__init__(**kwargs)
+        #: Optional real vision substrate; see StatelessSiftService.
+        self.vision_backend = vision_backend
+
     def process(self, record: FrameRecord):
         yield from self.compute()
+        if self.vision_backend is not None:
+            self.vision_backend.encoding(record.frame_number)
         downstream = record.advanced(
             "lsh", size_bytes=PACKED_WIRE_SIZES["encoding->lsh"])
         self.send_downstream("lsh", downstream)

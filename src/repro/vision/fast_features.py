@@ -70,15 +70,24 @@ def detect_fast(image: np.ndarray, *, threshold: float = 0.08,
     darker = circle < interior[None, :, :] - threshold
 
     def has_contiguous_arc(mask: np.ndarray) -> np.ndarray:
+        # A contiguous run of >= arc_length needs >= arc_length set
+        # flags in total, which almost no pixel has — gate the run
+        # search to those candidates (same booleans, ~10x cheaper).
+        result = np.zeros(mask.shape[1:], dtype=bool)
+        candidates = mask.sum(axis=0) >= arc_length
+        if not candidates.any():
+            return result
+        sub = mask[:, candidates]  # (16, n_candidates)
         # Wrap-around contiguous run of >= arc_length among 16 flags:
         # double the circle and slide a window (via cumulative sums).
-        doubled = np.concatenate([mask, mask[:arc_length - 1]],
+        doubled = np.concatenate([sub, sub[:arc_length - 1]],
                                  axis=0).astype(np.int16)
         cumulative = np.cumsum(doubled, axis=0)
         zeros = np.zeros((1,) + cumulative.shape[1:], dtype=np.int16)
         padded = np.concatenate([zeros, cumulative], axis=0)
         window_sums = (padded[arc_length:] - padded[:-arc_length])
-        return (window_sums >= arc_length).any(axis=0)
+        result[candidates] = (window_sums >= arc_length).any(axis=0)
+        return result
 
     corner_mask = has_contiguous_arc(brighter) | has_contiguous_arc(darker)
     if not corner_mask.any():
@@ -87,19 +96,31 @@ def detect_fast(image: np.ndarray, *, threshold: float = 0.08,
     score = np.abs(circle - interior[None, :, :]).mean(axis=0)
     score = np.where(corner_mask, score, 0.0)
 
-    # Non-maximum suppression over a (2r+1)^2 neighbourhood.
-    suppressed = score.copy()
-    for dy in range(-nms_radius, nms_radius + 1):
-        for dx in range(-nms_radius, nms_radius + 1):
-            if dy == 0 and dx == 0:
-                continue
-            shifted = np.zeros_like(score)
-            src_y = slice(max(0, dy), score.shape[0] + min(0, dy))
-            src_x = slice(max(0, dx), score.shape[1] + min(0, dx))
-            dst_y = slice(max(0, -dy), score.shape[0] + min(0, -dy))
-            dst_x = slice(max(0, -dx), score.shape[1] + min(0, -dx))
-            shifted[dst_y, dst_x] = score[src_y, src_x]
-            suppressed = np.where(shifted > suppressed, 0.0, suppressed)
+    # Non-maximum suppression over a (2r+1)^2 neighbourhood: a pixel
+    # survives iff its score equals the window maximum (ties keep
+    # both sides, matching a pairwise strict-greater comparison).
+    # The max filter is separable, so 2*(2r) shifted maxima replace a
+    # (2r+1)^2 shift loop; scores are >= 0, so zero-padding at the
+    # borders is neutral.
+    local_max = score
+    for axis in (0, 1):
+        rolled = local_max.copy()
+        for offset in range(1, nms_radius + 1):
+            for sign in (-1, 1):
+                shift = sign * offset
+                shifted = np.zeros_like(local_max)
+                length = local_max.shape[axis]
+                src = slice(max(0, shift), length + min(0, shift))
+                dst = slice(max(0, -shift), length + min(0, -shift))
+                source = (local_max[src] if axis == 0
+                          else local_max[:, src])
+                if axis == 0:
+                    shifted[dst] = source
+                else:
+                    shifted[:, dst] = source
+                np.maximum(rolled, shifted, out=rolled)
+        local_max = rolled
+    suppressed = np.where(score == local_max, score, 0.0)
 
     ys, xs = np.nonzero(suppressed > 0)
     keypoints = [FastKeypoint(x=int(x) + 3, y=int(y) + 3,

@@ -9,9 +9,11 @@ L2-normalized.  Output dimensionality is ``2 * K * D``.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.vision.cache import config_fingerprint
 
 _EPS = 1e-10
 
@@ -94,11 +96,24 @@ class GaussianMixture:
         return self
 
     def responsibilities(self, data: np.ndarray) -> np.ndarray:
-        """Posterior component probabilities for ``(N, D)`` samples."""
+        """Posterior component probabilities for ``(N, D)`` samples.
+
+        Every term is row-independent (einsum contractions plus
+        row-wise ``logaddexp`` reductions), so responsibilities of
+        concatenated sample sets equal the per-set results bit for bit
+        — the property :meth:`FisherEncoder.encode_batch` relies on.
+        """
         if not self.fitted:
             raise RuntimeError("responsibilities() before fit()")
         data = np.asarray(data, dtype=np.float64)
         return np.exp(self._log_responsibilities(data))
+
+    def fingerprint(self) -> str:
+        """Digest of the fitted parameters, for cache keying."""
+        if not self.fitted:
+            raise RuntimeError("fingerprint() before fit()")
+        return config_fingerprint("gmm", self.weights_, self.means_,
+                                  self.variances_)
 
 
 class FisherEncoder:
@@ -108,10 +123,32 @@ class FisherEncoder:
         if not gmm.fitted:
             raise ValueError("FisherEncoder requires a fitted GMM")
         self.gmm = gmm
+        self._constants_key: Optional[Tuple[int, int]] = None
+        self._sigma: Optional[np.ndarray] = None
+        self._sqrt_w: Optional[np.ndarray] = None
+        self._sqrt_2w: Optional[np.ndarray] = None
 
     @property
     def dimension(self) -> int:
         return 2 * self.gmm.n_components * self.gmm.means_.shape[1]
+
+    def fingerprint(self) -> str:
+        """Digest of the encoder configuration, for cache keying."""
+        return config_fingerprint("fisher", self.gmm.fingerprint())
+
+    def _constants(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-GMM square roots, computed once instead of per frame.
+
+        Keyed on the identity of the fitted arrays so a refit of the
+        underlying GMM invalidates the cache.
+        """
+        key = (id(self.gmm.weights_), id(self.gmm.variances_))
+        if self._constants_key != key:
+            self._sigma = np.sqrt(self.gmm.variances_)  # (K, D)
+            self._sqrt_w = np.sqrt(self.gmm.weights_)
+            self._sqrt_2w = np.sqrt(2.0 * self.gmm.weights_)
+            self._constants_key = key
+        return self._sigma, self._sqrt_w, self._sqrt_2w
 
     def encode(self, descriptors: np.ndarray) -> np.ndarray:
         """Return the normalized Fisher vector of ``(N, D)`` descriptors.
@@ -124,22 +161,52 @@ class FisherEncoder:
             return np.zeros(self.dimension)
         if descriptors.ndim == 1:
             descriptors = descriptors[None, :]
-        n = descriptors.shape[0]
+        gamma = self.gmm.responsibilities(descriptors)  # (N, K)
+        return self._encode_with_gamma(descriptors, gamma)
 
+    def encode_batch(
+            self, descriptor_sets: Sequence[np.ndarray]) \
+            -> List[np.ndarray]:
+        """Fisher vectors for many descriptor sets in one pass.
+
+        Responsibilities for all sets are computed on one concatenated
+        matrix (row-independent, so bit-equal to per-set calls); the
+        per-set gradient reductions then run on each set's own rows,
+        making every output bit-identical to :meth:`encode`.
+        """
+        sets = [np.asarray(d, dtype=np.float64)
+                for d in descriptor_sets]
+        shaped = [d[None, :] if d.ndim == 1 else d for d in sets]
+        outputs: List[Optional[np.ndarray]] = [
+            np.zeros(self.dimension) if d.size == 0 else None
+            for d in sets]
+        live = [i for i, out in enumerate(outputs) if out is None]
+        if live:
+            concat = np.vstack([shaped[i] for i in live])
+            gamma_all = self.gmm.responsibilities(concat)
+            offset = 0
+            for i in live:
+                n = shaped[i].shape[0]
+                outputs[i] = self._encode_with_gamma(
+                    shaped[i], gamma_all[offset:offset + n])
+                offset += n
+        return outputs  # type: ignore[return-value]
+
+    def _encode_with_gamma(self, descriptors: np.ndarray,
+                           gamma: np.ndarray) -> np.ndarray:
+        n = descriptors.shape[0]
         gmm = self.gmm
-        gamma = gmm.responsibilities(descriptors)  # (N, K)
-        sigma = np.sqrt(gmm.variances_)  # (K, D)
+        sigma, sqrt_w, sqrt_2w = self._constants()
 
         # Normalized deviations per sample/component: (N, K, D).
         deviation = ((descriptors[:, None, :] - gmm.means_[None, :, :])
                      / sigma[None, :, :])
         weighted = gamma[:, :, None] * deviation
 
-        grad_mu = weighted.sum(axis=0) / (
-            n * np.sqrt(gmm.weights_)[:, None] + _EPS)
+        grad_mu = weighted.sum(axis=0) / (n * sqrt_w[:, None] + _EPS)
         grad_sigma = ((gamma[:, :, None]
                        * (deviation ** 2 - 1.0)).sum(axis=0)
-                      / (n * np.sqrt(2.0 * gmm.weights_)[:, None] + _EPS))
+                      / (n * sqrt_2w[:, None] + _EPS))
 
         vector = np.concatenate([grad_mu.ravel(), grad_sigma.ravel()])
         # Power normalization then L2 (Perronnin's improved FV).

@@ -8,21 +8,32 @@ starts from the level with twice the base sigma, downsampled 2×.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
 
 import numpy as np
 from scipy import ndimage
+
+#: Kernels are pure functions of sigma and every pyramid reuses the
+#: same few sigmas; memoizing avoids re-deriving them per blur.
+_KERNEL_CACHE: Dict[float, np.ndarray] = {}
 
 
 def gaussian_kernel_1d(sigma: float) -> np.ndarray:
     """A normalized 1-D Gaussian kernel with radius ``ceil(3 sigma)``."""
     if sigma <= 0:
         raise ValueError(f"sigma must be positive, got {sigma}")
+    sigma = float(sigma)
+    cached = _KERNEL_CACHE.get(sigma)
+    if cached is not None:
+        return cached
     radius = max(1, int(np.ceil(3.0 * sigma)))
     xs = np.arange(-radius, radius + 1, dtype=np.float64)
     kernel = np.exp(-(xs ** 2) / (2.0 * sigma ** 2))
-    return kernel / kernel.sum()
+    kernel = kernel / kernel.sum()
+    kernel.setflags(write=False)
+    _KERNEL_CACHE[sigma] = kernel
+    return kernel
 
 
 def gaussian_blur(image: np.ndarray, sigma: float) -> np.ndarray:
@@ -51,10 +62,35 @@ class ScaleSpace:
     dogs: List[List[np.ndarray]]
     sigmas: List[float]
     intervals: int
+    #: Lazily computed (magnitude, orientation) per (octave, level);
+    #: orientation assignment and every descriptor at that level share
+    #: one gradient field instead of re-deriving patches of it.
+    _gradients: Dict[Tuple[int, int],
+                     Tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=dict, repr=False, compare=False)
 
     @property
     def num_octaves(self) -> int:
         return len(self.gaussians)
+
+    def gradients(self, octave: int,
+                  level: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Full-image (magnitude, orientation) of a Gaussian level.
+
+        Central differences at interior pixels depend only on the
+        pixel's 4-neighbourhood, so a slice of these full-image fields
+        is bit-identical to gradients computed on any patch that
+        contains the slice plus a one-pixel margin — the property the
+        vectorized SIFT paths rely on.
+        """
+        key = (octave, level)
+        cached = self._gradients.get(key)
+        if cached is None:
+            from repro.vision.image import image_gradients
+
+            cached = image_gradients(self.gaussians[octave][level])
+            self._gradients[key] = cached
+        return cached
 
 
 def build_scale_space(image: np.ndarray, *, intervals: int = 3,
@@ -89,8 +125,11 @@ def build_scale_space(image: np.ndarray, *, intervals: int = 3,
         for increment in increments:
             octave.append(gaussian_blur(octave[-1], increment))
         gaussians.append(octave)
-        dogs.append([octave[i + 1] - octave[i]
-                     for i in range(len(octave) - 1)])
+        # One stacked subtraction for the whole octave; elementwise, so
+        # bit-identical to per-pair ``octave[i+1] - octave[i]``.
+        stacked = np.stack(octave)
+        diff = stacked[1:] - stacked[:-1]
+        dogs.append([diff[i] for i in range(diff.shape[0])])
         # Next octave seeds from the level at 2x base sigma.
         current = downsample(octave[intervals])
     if not gaussians:

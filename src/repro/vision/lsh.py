@@ -6,12 +6,21 @@ buckets to shortlist nearest-neighbour reference objects for
 similarity [Charikar 2002]: vectors hash to the sign pattern of dot
 products with random hyperplanes; near vectors collide in at least one
 of the ``n_tables`` tables with high probability.
+
+Hot-path notes: projections go through ``np.einsum`` because its
+per-output-element contraction is independent of how many vectors are
+batched — a single vector routed through the batch path produces the
+same bits as a batch of one (BLAS ``gemv``/``gemm`` kernels do *not*
+have that property; their reduction strategy changes with operand
+shape).  Signatures and norms are computed once at insert time and
+stored, so ``remove`` never rehashes (no stale-bucket risk) and query
+scoring reuses each key's norm.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List
+from typing import Dict, Hashable, Iterable, List, Tuple
 
 import numpy as np
 
@@ -39,19 +48,32 @@ class LshIndex:
         rng = np.random.default_rng(seed)
         #: (tables, bits, dimension) hyperplane normals.
         self._planes = rng.standard_normal((n_tables, n_bits, dimension))
+        #: (tables * bits, dimension) view used for batched projection.
+        self._planes_flat = self._planes.reshape(
+            n_tables * n_bits, dimension)
+        self._bit_weights = (1 << np.arange(self.n_bits,
+                                            dtype=np.uint64))
         self._tables: List[Dict[int, List[Hashable]]] = [
             {} for __ in range(n_tables)]
         self._vectors: Dict[Hashable, np.ndarray] = {}
+        self._norms: Dict[Hashable, float] = {}
+        self._signatures_by_key: Dict[Hashable, np.ndarray] = {}
 
     def __len__(self) -> int:
         return len(self._vectors)
 
+    def signature_batch(self, vectors: np.ndarray) -> np.ndarray:
+        """Integer bucket signatures, ``(N, n_tables)`` for ``(N, D)``."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        projections = np.einsum("nd,kd->nk", vectors,
+                                self._planes_flat)
+        bits = (projections > 0).astype(np.uint64).reshape(
+            vectors.shape[0], self.n_tables, self.n_bits)
+        return (bits * self._bit_weights).sum(axis=2)
+
     def _signatures(self, vector: np.ndarray) -> np.ndarray:
         """Integer bucket signature per table, shape ``(n_tables,)``."""
-        projections = self._planes @ vector  # (tables, bits)
-        bits = (projections > 0).astype(np.uint64)
-        weights = (1 << np.arange(self.n_bits, dtype=np.uint64))
-        return (bits * weights).sum(axis=1)
+        return self.signature_batch(vector[None, :])[0]
 
     def insert(self, key: Hashable, vector: np.ndarray) -> None:
         """Index ``vector`` under ``key`` (re-inserting replaces)."""
@@ -60,19 +82,42 @@ class LshIndex:
             raise ValueError(
                 f"expected vector of shape ({self.dimension},), "
                 f"got {vector.shape}")
+        self._insert_hashed(key, vector, self._signatures(vector))
+
+    def insert_many(self, items: Iterable[Tuple[Hashable,
+                                                np.ndarray]]) -> None:
+        """Index many ``(key, vector)`` pairs with one projection pass."""
+        pairs = list(items)
+        if not pairs:
+            return
+        vectors = np.stack([np.asarray(vector, dtype=np.float64)
+                            for __, vector in pairs])
+        if vectors.shape[1:] != (self.dimension,):
+            raise ValueError(
+                f"expected vectors of shape (N, {self.dimension}), "
+                f"got {vectors.shape}")
+        signatures = self.signature_batch(vectors)
+        for (key, __), vector, signature in zip(pairs, vectors,
+                                                signatures):
+            self._insert_hashed(key, vector, signature)
+
+    def _insert_hashed(self, key: Hashable, vector: np.ndarray,
+                       signatures: np.ndarray) -> None:
         if key in self._vectors:
             self.remove(key)
         self._vectors[key] = vector
-        for table, signature in zip(self._tables,
-                                    self._signatures(vector)):
+        self._norms[key] = float(np.linalg.norm(vector))
+        self._signatures_by_key[key] = signatures
+        for table, signature in zip(self._tables, signatures):
             table.setdefault(int(signature), []).append(key)
 
     def remove(self, key: Hashable) -> None:
         vector = self._vectors.pop(key, None)
         if vector is None:
             return
-        for table, signature in zip(self._tables,
-                                    self._signatures(vector)):
+        self._norms.pop(key, None)
+        signatures = self._signatures_by_key.pop(key)
+        for table, signature in zip(self._tables, signatures):
             bucket = table.get(int(signature), [])
             if key in bucket:
                 bucket.remove(key)
@@ -80,13 +125,13 @@ class LshIndex:
     def candidates(self, vector: np.ndarray) -> List[Hashable]:
         """Union of bucket collisions across tables (unranked)."""
         vector = np.asarray(vector, dtype=np.float64)
-        seen: List[Hashable] = []
+        collisions: List[Hashable] = []
         for table, signature in zip(self._tables,
                                     self._signatures(vector)):
-            for key in table.get(int(signature), []):
-                if key not in seen:
-                    seen.append(key)
-        return seen
+            collisions.extend(table.get(int(signature), []))
+        # dict.fromkeys: O(n) first-occurrence dedup, same order as
+        # the quadratic ``key not in seen`` scan it replaces.
+        return list(dict.fromkeys(collisions))
 
     def query(self, vector: np.ndarray, *, k: int = 1,
               min_similarity: float = -1.0) -> List[LshMatch]:
@@ -101,13 +146,19 @@ class LshIndex:
         norm = np.linalg.norm(vector)
         if norm < 1e-12 or not keys:
             return []
+        stored = np.stack([self._vectors[key] for key in keys])
+        stored_norms = np.array([self._norms[key] for key in keys])
+        # Row-wise sum-product is bit-equal to the per-key dot loop
+        # (a gemv would not be); norms were computed at insert time
+        # with the same 1-d call the loop used.
+        dots = np.sum(stored * vector, axis=1)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            similarities = dots / (norm * stored_norms)
         matches = []
-        for key in keys:
-            stored = self._vectors[key]
-            stored_norm = np.linalg.norm(stored)
-            if stored_norm < 1e-12:
+        for index, key in enumerate(keys):
+            if stored_norms[index] < 1e-12:
                 continue
-            similarity = float(vector @ stored / (norm * stored_norm))
+            similarity = float(similarities[index])
             if similarity >= min_similarity:
                 matches.append(LshMatch(key=key, similarity=similarity))
         matches.sort(key=lambda match: -match.similarity)

@@ -46,21 +46,23 @@ def match_descriptors(query: np.ndarray, reference: np.ndarray, *,
     r_sq = np.sum(reference ** 2, axis=1)[None, :]
     squared = np.maximum(q_sq + r_sq - 2.0 * (query @ reference.T), 0.0)
 
-    matches: List[DescriptorMatch] = []
-    single_reference = reference.shape[0] == 1
-    for query_index in range(query.shape[0]):
-        row = squared[query_index]
-        nearest = int(np.argmin(row))
-        nearest_distance = float(np.sqrt(row[nearest]))
-        if nearest_distance > max_distance:
-            continue
-        if not single_reference:
-            row_copy = row.copy()
-            row_copy[nearest] = np.inf
-            second = float(np.sqrt(np.min(row_copy)))
-            if second > 0 and nearest_distance >= ratio * second:
-                continue
-        matches.append(DescriptorMatch(query_index=query_index,
-                                       reference_index=nearest,
-                                       distance=nearest_distance))
-    return matches
+    # Vectorized nearest/second-nearest selection across all rows at
+    # once.  Row-wise argmin/min and elementwise sqrt are bit-equal to
+    # the per-row formulation, so accept/reject decisions match the
+    # per-query loop exactly (see tests/test_kernel_equivalence.py).
+    n_query = squared.shape[0]
+    rows = np.arange(n_query)
+    nearest = np.argmin(squared, axis=1)
+    nearest_distance = np.sqrt(squared[rows, nearest])
+    accept = ~(nearest_distance > max_distance)
+    if reference.shape[0] > 1:
+        masked = squared.copy()
+        masked[rows, nearest] = np.inf
+        second = np.sqrt(np.min(masked, axis=1))
+        accept &= ~((second > 0)
+                    & (nearest_distance >= ratio * second))
+
+    return [DescriptorMatch(query_index=int(query_index),
+                            reference_index=int(nearest[query_index]),
+                            distance=float(nearest_distance[query_index]))
+            for query_index in np.nonzero(accept)[0]]

@@ -7,9 +7,11 @@ Perronnin et al.'s large-scale retrieval recipe).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
+
+from repro.vision.cache import config_fingerprint
 
 
 class Pca:
@@ -59,8 +61,28 @@ class Pca:
             data = data[None, :]
         return (data - self.mean_) @ self.components_.T
 
+    def transform_many(
+            self, data_sets: Sequence[np.ndarray]) -> List[np.ndarray]:
+        """Project many descriptor sets.
+
+        Deliberately a per-set loop rather than one concatenated
+        matmul: BLAS ``gemm`` dispatches different kernels for
+        different operand heights (an M=1 product is not bit-equal to
+        the same rows inside an M=300 product), so concatenation would
+        silently change low-order bits per set.  The loop keeps each
+        set's projection byte-identical to :meth:`transform`.
+        """
+        return [self.transform(data) for data in data_sets]
+
     def fit_transform(self, data: np.ndarray) -> np.ndarray:
         return self.fit(data).transform(data)
+
+    def fingerprint(self) -> str:
+        """Digest of the fitted basis, for cache keying."""
+        if not self.fitted:
+            raise RuntimeError("Pca.fingerprint() before fit()")
+        return config_fingerprint("pca", self.n_components, self.mean_,
+                                  self.components_)
 
     def inverse_transform(self, projected: np.ndarray) -> np.ndarray:
         """Reconstruct from the projection (lossy)."""

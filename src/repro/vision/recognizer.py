@@ -24,6 +24,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.metrics.profiling import StageProfiler
+from repro.vision.cache import FeatureCache, array_digest
 from repro.vision.dataset import WorkplaceDataset
 from repro.vision.fisher import FisherEncoder, GaussianMixture
 from repro.vision.image import bilinear_resize, to_grayscale
@@ -112,9 +114,13 @@ class RecognizerTrainer:
 
         index = LshIndex(encoder.dimension, n_tables=self.lsh_tables,
                          n_bits=self.lsh_bits, seed=self.seed)
-        for name, reference in dataset.objects.items():
-            fisher = encoder.encode(pca.transform(reference.descriptors))
-            index.insert(name, fisher)
+        # Batched offline indexing: one PCA pass per object, one
+        # concatenated Fisher pass, one projection pass for LSH.
+        names = list(dataset.objects)
+        projected_sets = pca.transform_many(
+            [dataset.objects[name].descriptors for name in names])
+        fishers = encoder.encode_batch(projected_sets)
+        index.insert_many(zip(names, fishers))
         return ObjectRecognizer(dataset=dataset, extractor=extractor,
                                 pca=pca, encoder=encoder, index=index)
 
@@ -127,7 +133,9 @@ class ObjectRecognizer:
                  encoder: FisherEncoder, index: LshIndex,
                  working_size: Optional[Tuple[int, int]] = None,
                  shortlist: int = 3, ratio: float = 0.85,
-                 ransac_threshold: float = 4.0, min_inliers: int = 6):
+                 ransac_threshold: float = 4.0, min_inliers: int = 6,
+                 feature_cache: Optional[FeatureCache] = None,
+                 profiler: Optional[StageProfiler] = None):
         self.dataset = dataset
         self.extractor = extractor
         self.pca = pca
@@ -138,34 +146,69 @@ class ObjectRecognizer:
         self.ratio = ratio
         self.ransac_threshold = ransac_threshold
         self.min_inliers = min_inliers
+        #: Optional content-addressed cache: repeated frames (looped
+        #: replay videos, concurrent clients on the same scene) skip
+        #: SIFT extraction and Fisher encoding entirely.
+        self.feature_cache = feature_cache
+        #: Optional per-stage wall-time profiler.
+        self.profiler = profiler if profiler is not None \
+            else StageProfiler(enabled=False)
 
     # ------------------------------------------------------------------
     # Stage implementations (named after the microservices)
     # ------------------------------------------------------------------
     def preprocess(self, image: np.ndarray) -> np.ndarray:
         """``primary``: grayscale + optional dimension reduction."""
-        gray = to_grayscale(image)
-        if self.working_size is not None:
-            gray = bilinear_resize(gray, self.working_size)
-        return gray
+        with self.profiler.stage("recognizer.preprocess"):
+            gray = to_grayscale(image)
+            if self.working_size is not None:
+                gray = bilinear_resize(gray, self.working_size)
+            return gray
 
     def extract(self, gray: np.ndarray):
-        """``sift``: keypoints and descriptors."""
-        return self.extractor.detect_and_describe(gray)
+        """``sift``: keypoints and descriptors (content-cached)."""
+        with self.profiler.stage("recognizer.extract"):
+            if self.feature_cache is None:
+                return self.extractor.detect_and_describe(gray)
+            key = ("sift", array_digest(gray),
+                   self.extractor.fingerprint)
+            keypoints, descriptors = self.feature_cache.get_or_compute(
+                key, lambda: self._extract_uncached(gray))
+            return list(keypoints), descriptors
+
+    def _extract_uncached(self, gray: np.ndarray):
+        keypoints, descriptors = \
+            self.extractor.detect_and_describe(gray)
+        return tuple(keypoints), descriptors
 
     def encode(self, descriptors: np.ndarray) -> np.ndarray:
-        """``encoding``: PCA + Fisher vector."""
-        if len(descriptors) == 0:
-            return np.zeros(self.encoder.dimension)
-        return self.encoder.encode(self.pca.transform(descriptors))
+        """``encoding``: PCA + Fisher vector (content-cached)."""
+        with self.profiler.stage("recognizer.encode"):
+            if len(descriptors) == 0:
+                return np.zeros(self.encoder.dimension)
+            if self.feature_cache is None:
+                return self.encoder.encode(
+                    self.pca.transform(descriptors))
+            key = ("fisher", array_digest(descriptors),
+                   self.pca.fingerprint(), self.encoder.fingerprint())
+            return self.feature_cache.get_or_compute(
+                key, lambda: self.encoder.encode(
+                    self.pca.transform(descriptors)))
 
     def nearest_neighbours(self, fisher: np.ndarray):
         """``lsh``: shortlist of candidate reference objects."""
-        return self.index.query(fisher, k=self.shortlist)
+        with self.profiler.stage("recognizer.lsh"):
+            return self.index.query(fisher, k=self.shortlist)
 
     def match_and_pose(self, keypoints, descriptors,
                        candidates) -> List[Recognition]:
         """``matching``: correspondences + RANSAC pose per candidate."""
+        with self.profiler.stage("recognizer.match"):
+            return self._match_and_pose(keypoints, descriptors,
+                                        candidates)
+
+    def _match_and_pose(self, keypoints, descriptors,
+                        candidates) -> List[Recognition]:
         recognitions: List[Recognition] = []
         if len(descriptors) == 0:
             return recognitions

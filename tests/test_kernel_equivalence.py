@@ -1,0 +1,373 @@
+"""Reference-vs-vectorized bit-identity harness.
+
+The vectorized kernels in :mod:`repro.vision` claim to be *exactly*
+equal to their per-keypoint/per-row loop formulations — not merely
+``allclose``.  This file is the enforcement: every kernel runs side by
+side with its :mod:`repro.vision.reference` twin across randomized
+seeded sweeps (image sizes, keypoint populations, GMM sizes, LSH
+configurations) and every comparison is ``==`` on raw bytes.
+
+The second half certifies the content-addressed
+:class:`~repro.vision.cache.FeatureCache` as *behaviour-invisible*:
+cached results are bit-identical to recomputes, and the committed
+golden trace digests (``tests/golden/determinism_digests.json``) are
+byte-identical with the cache enabled or disabled, serial or sharded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.scatter.content import ContentCostModel, FrameFeatureExtractor
+from repro.vision.cache import (
+    DISABLE_ENV,
+    FeatureCache,
+    default_feature_cache,
+    reset_default_feature_cache,
+)
+from repro.vision.fisher import FisherEncoder, GaussianMixture
+from repro.vision.image import to_grayscale
+from repro.vision.lsh import LshIndex
+from repro.vision.matching import match_descriptors
+from repro.vision.pca import Pca
+from repro.vision.reference import (
+    ReferenceSiftExtractor,
+    reference_fisher_encode,
+    reference_lsh_query,
+    reference_lsh_signatures,
+    reference_match_descriptors,
+)
+from repro.vision.sift import SiftExtractor
+from repro.vision.video import SyntheticVideo
+
+
+def _frame(seed: int, size, number: int) -> np.ndarray:
+    video = SyntheticVideo(seed=seed, size=size)
+    return to_grayscale(video.frame(number).image)
+
+
+def _assert_keypoints_equal(reference, vectorized):
+    assert len(reference) == len(vectorized)
+    for ref_kp, vec_kp in zip(reference, vectorized):
+        assert ref_kp == vec_kp  # frozen dataclass: exact floats
+
+
+def _assert_bit_equal(reference: np.ndarray, vectorized: np.ndarray):
+    assert reference.shape == vectorized.shape
+    assert reference.dtype == vectorized.dtype
+    assert reference.tobytes() == vectorized.tobytes()
+
+
+# ----------------------------------------------------------------------
+# SIFT: detection, orientation, description
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed,size,number", [
+    (0, (144, 192), 3),
+    (1, (144, 192), 17),
+    (2, (96, 128), 0),
+    (3, (112, 160), 25),
+])
+def test_sift_detect_and_describe_bit_identical(seed, size, number):
+    image = _frame(seed, size, number)
+    extractor = SiftExtractor()
+    ref_kps, ref_desc = \
+        ReferenceSiftExtractor(extractor).detect_and_describe(image)
+    vec_kps, vec_desc = extractor.detect_and_describe(image)
+    assert len(vec_kps) > 0  # non-vacuous: the frame has structure
+    _assert_keypoints_equal(ref_kps, vec_kps)
+    _assert_bit_equal(ref_desc, vec_desc)
+
+
+def test_sift_randomized_config_sweep():
+    """Seeds x sizes x extractor configs, all bit-identical."""
+    total_keypoints = 0
+    for seed in range(4):
+        for size in ((96, 128), (128, 176)):
+            image = _frame(seed, size, number=seed * 7)
+            for intervals, contrast in ((2, 0.02), (3, 0.04)):
+                extractor = SiftExtractor(
+                    intervals=intervals,
+                    contrast_threshold=contrast,
+                    max_keypoints=200)
+                ref_kps, ref_desc = ReferenceSiftExtractor(
+                    extractor).detect_and_describe(image)
+                vec_kps, vec_desc = \
+                    extractor.detect_and_describe(image)
+                _assert_keypoints_equal(ref_kps, vec_kps)
+                _assert_bit_equal(ref_desc, vec_desc)
+                total_keypoints += len(vec_kps)
+    assert total_keypoints > 100  # the sweep exercised real work
+
+
+# ----------------------------------------------------------------------
+# Descriptor matching
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(5))
+def test_matching_bit_identical(seed):
+    rng = np.random.default_rng(seed)
+    reference = rng.standard_normal((40, 32))
+    query = np.vstack([
+        reference[rng.integers(0, 40, size=25)]
+        + 0.05 * rng.standard_normal((25, 32)),
+        rng.standard_normal((10, 32)),  # genuinely novel queries
+    ])
+    for kwargs in ({}, {"ratio": 0.7}, {"max_distance": 4.0},
+                   {"ratio": 0.9, "max_distance": 2.5}):
+        expected = reference_match_descriptors(query, reference,
+                                               **kwargs)
+        actual = match_descriptors(query, reference, **kwargs)
+        assert len(expected) > 0  # non-vacuous
+        assert actual == expected  # frozen dataclasses: exact floats
+
+
+def test_matching_edge_cases_bit_identical():
+    rng = np.random.default_rng(0)
+    reference = rng.standard_normal((1, 16))  # no ratio test possible
+    query = rng.standard_normal((5, 16))
+    assert match_descriptors(query, reference) == \
+        reference_match_descriptors(query, reference)
+    assert match_descriptors(np.empty((0, 16)), reference) == []
+    # 1-d inputs promote to a single row in both paths.
+    assert match_descriptors(query[0], reference[0]) == \
+        reference_match_descriptors(query[0], reference[0])
+
+
+# ----------------------------------------------------------------------
+# LSH: signatures, bucket probing, scoring
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_tables,n_bits,dimension,n_keys,seed", [
+    (4, 12, 64, 30, 0),
+    (2, 8, 16, 10, 1),
+    (6, 16, 128, 50, 2),
+    (1, 4, 8, 5, 3),
+])
+def test_lsh_signatures_and_query_bit_identical(
+        n_tables, n_bits, dimension, n_keys, seed):
+    rng = np.random.default_rng(seed)
+    index = LshIndex(dimension, n_tables=n_tables, n_bits=n_bits,
+                     seed=seed)
+    vectors = rng.standard_normal((n_keys, dimension))
+    index.insert_many((f"key{i}", vectors[i]) for i in range(n_keys))
+
+    for i in range(n_keys):
+        expected = reference_lsh_signatures(index, vectors[i])
+        actual = index.signature_batch(vectors[i][None, :])[0]
+        assert actual.dtype == expected.dtype
+        assert actual.tobytes() == expected.tobytes()
+
+    queries = np.vstack([
+        vectors[:5] + 0.01 * rng.standard_normal((5, dimension)),
+        rng.standard_normal((3, dimension)),
+    ])
+    for query in queries:
+        for k in (1, 3):
+            expected = reference_lsh_query(index, query, k=k)
+            actual = index.query(query, k=k)
+            assert actual == expected  # keys, order, exact similarity
+
+
+def test_lsh_insert_many_equivalent_to_insert_loop():
+    rng = np.random.default_rng(7)
+    vectors = rng.standard_normal((20, 32))
+    one_by_one = LshIndex(32, seed=7)
+    batched = LshIndex(32, seed=7)
+    for i in range(20):
+        one_by_one.insert(i, vectors[i])
+    batched.insert_many((i, vectors[i]) for i in range(20))
+    assert one_by_one._tables == batched._tables
+    query = vectors[3] + 0.01 * rng.standard_normal(32)
+    assert one_by_one.query(query, k=5) == batched.query(query, k=5)
+
+
+# ----------------------------------------------------------------------
+# Fisher encoding
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_components,n_descriptors,seed", [
+    (2, 1, 0), (2, 7, 1), (3, 40, 2), (5, 12, 3), (4, 200, 4),
+])
+def test_fisher_encode_bit_identical(n_components, n_descriptors,
+                                     seed):
+    rng = np.random.default_rng(seed)
+    train = rng.standard_normal((80, 16))
+    gmm = GaussianMixture(n_components, seed=seed).fit(train)
+    encoder = FisherEncoder(gmm)
+    descriptors = rng.standard_normal((n_descriptors, 16))
+    expected = reference_fisher_encode(encoder, descriptors)
+    actual = encoder.encode(descriptors)
+    assert np.abs(actual).max() > 0  # non-vacuous
+    _assert_bit_equal(expected, actual)
+
+
+def test_fisher_encode_batch_matches_single_calls():
+    rng = np.random.default_rng(9)
+    gmm = GaussianMixture(3, seed=9).fit(rng.standard_normal((60, 8)))
+    encoder = FisherEncoder(gmm)
+    sets = [rng.standard_normal((n, 8)) for n in (1, 5, 12)]
+    sets.insert(1, np.empty((0, 8)))  # empty set mid-batch
+    batch = encoder.encode_batch(sets)
+    assert len(batch) == len(sets)
+    for descriptors, encoded in zip(sets, batch):
+        _assert_bit_equal(encoder.encode(descriptors), encoded)
+    _assert_bit_equal(batch[1], np.zeros(encoder.dimension))
+
+
+# ----------------------------------------------------------------------
+# End-to-end: frame -> features -> encoding -> index, both paths
+# ----------------------------------------------------------------------
+def test_pipeline_end_to_end_bit_identical():
+    image = _frame(seed=0, size=(144, 192), number=3)
+    extractor = SiftExtractor()
+    ref_kps, ref_desc = \
+        ReferenceSiftExtractor(extractor).detect_and_describe(image)
+    vec_kps, vec_desc = extractor.detect_and_describe(image)
+    _assert_keypoints_equal(ref_kps, vec_kps)
+    _assert_bit_equal(ref_desc, vec_desc)
+
+    rng = np.random.default_rng(0)
+    pca = Pca(8).fit(np.vstack([ref_desc,
+                                rng.standard_normal((64, 128))]))
+    projected_ref = pca.transform(ref_desc)
+    projected_vec = pca.transform(vec_desc)
+    _assert_bit_equal(projected_ref, projected_vec)
+
+    gmm = GaussianMixture(2, seed=0).fit(projected_ref)
+    encoder = FisherEncoder(gmm)
+    fisher_ref = reference_fisher_encode(encoder, projected_ref)
+    fisher_vec = encoder.encode(projected_vec)
+    _assert_bit_equal(fisher_ref, fisher_vec)
+
+    index = LshIndex(encoder.dimension, seed=0)
+    index.insert("frame", fisher_vec)
+    assert index.query(fisher_ref, k=1) == \
+        reference_lsh_query(index, fisher_ref, k=1)
+
+
+# ----------------------------------------------------------------------
+# Feature cache: hits are bit-identical to recomputes
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def trained_stack():
+    """A small PCA + GMM trained on real descriptors (shared)."""
+    extractor = SiftExtractor(max_keypoints=120)
+    video = SyntheticVideo(seed=0, size=(96, 128))
+    descriptors = np.vstack([
+        extractor.detect_and_describe(
+            to_grayscale(video.frame(n).image))[1]
+        for n in (0, 9)])
+    pca = Pca(8).fit(descriptors)
+    gmm = GaussianMixture(2, seed=0).fit(pca.transform(descriptors))
+    return video, extractor, pca, FisherEncoder(gmm)
+
+
+def test_cached_backend_bit_identical_to_uncached(trained_stack):
+    video, extractor, pca, encoder = trained_stack
+    cached = FrameFeatureExtractor(
+        video, extractor, pca=pca, encoder=encoder,
+        cache=FeatureCache())
+    uncached = FrameFeatureExtractor(
+        video, extractor, pca=pca, encoder=encoder,
+        cache=FeatureCache(enabled=False))
+
+    for frame_number in (2, 11, 2, 11, 2):  # repeats hit the cache
+        ckps, cdesc = cached.features(frame_number)
+        ukps, udesc = uncached.features(frame_number)
+        _assert_keypoints_equal(list(ukps), list(ckps))
+        _assert_bit_equal(udesc, cdesc)
+        _assert_bit_equal(uncached.encoding(frame_number),
+                          cached.encoding(frame_number))
+
+    stats = cached.stats()
+    assert stats.hits > 0 and stats.misses > 0
+    assert uncached.stats().hits == 0
+
+
+def test_content_cost_model_cache_transparent():
+    video = SyntheticVideo(seed=0, size=(96, 128))
+    with_cache = ContentCostModel.from_video(
+        video, cache=FeatureCache())
+    without = ContentCostModel.from_video(
+        video, cache=FeatureCache(enabled=False))
+    warm_cache = FeatureCache()
+    ContentCostModel.from_video(video, cache=warm_cache)
+    warm = ContentCostModel.from_video(video, cache=warm_cache)
+
+    baseline = without._multipliers
+    for model in (with_cache, warm):
+        _assert_bit_equal(baseline, model._multipliers)
+    assert warm_cache.stats().hits > 0
+
+
+# ----------------------------------------------------------------------
+# The determinism contract survives the cache
+# ----------------------------------------------------------------------
+def test_experiment_digest_identical_with_active_cache(trained_stack):
+    """A run doing *real* cached vision work keeps its trace digest.
+
+    The backend's kernels execute in real wall time while the
+    simulated services consume calibrated virtual time, so enabling
+    the cache must not move a single simulated event.
+    """
+    from repro.experiments.runner import run_scatter_experiment
+    from repro.scatter.config import PIPELINE_ORDER, baseline_configs
+
+    video, extractor, pca, encoder = trained_stack
+    placement = baseline_configs()["C1"]
+    model = ContentCostModel.from_video(video,
+                                        cache=FeatureCache())
+
+    def run(cache):
+        backend = FrameFeatureExtractor(
+            video, extractor, pca=pca, encoder=encoder, cache=cache)
+        service_kwargs = {name: {"cost_model": model}
+                          for name in PIPELINE_ORDER}
+        service_kwargs["sift"]["vision_backend"] = backend
+        service_kwargs["encoding"]["vision_backend"] = backend
+        result = run_scatter_experiment(
+            placement, num_clients=2, duration_s=1.0, seed=0,
+            pipeline_kwargs={"service_kwargs": service_kwargs})
+        assert backend.frames_extracted > 0
+        return result, cache.stats()
+
+    enabled_result, enabled_stats = run(FeatureCache())
+    disabled_result, disabled_stats = run(
+        FeatureCache(enabled=False))
+    assert enabled_stats.hits > 0  # the cache actually engaged
+    assert disabled_stats.hits == 0
+    assert enabled_result.trace_digest == disabled_result.trace_digest
+    assert enabled_result.mean_fps() == disabled_result.mean_fps()
+
+
+@pytest.fixture
+def feature_cache_disabled(monkeypatch):
+    """Disable the process-default cache for one test, then restore."""
+    monkeypatch.setenv(DISABLE_ENV, "1")
+    reset_default_feature_cache()
+    assert not default_feature_cache().enabled
+    yield
+    # monkeypatch restores the environment after this; dropping the
+    # singleton makes the next consumer re-read it.
+    reset_default_feature_cache()
+
+
+@pytest.mark.parametrize("workers", [0, 4])
+def test_golden_digests_unchanged_with_cache_disabled(
+        feature_cache_disabled, workers):
+    """The committed golden digests hold with caching off, any shard.
+
+    ``tests/test_determinism.py`` pins the digests with the default
+    (enabled) cache; this is the other half of the regression — the
+    cache being *absent* is equally invisible.  Worker processes
+    inherit the disabling environment variable.
+    """
+    import json
+
+    from repro.experiments.campaign import run_campaign
+    from tests.test_determinism import (
+        CONTRACT_CAMPAIGN,
+        GOLDEN_PATH,
+        _digest_map,
+    )
+
+    report = run_campaign(CONTRACT_CAMPAIGN, workers=workers)
+    assert not report.failures
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert _digest_map(report) == golden["digests"]

@@ -5,7 +5,14 @@ import pytest
 from repro.cluster import Container, Machine
 from repro.cluster.gpu import RTX_2080
 from repro.cluster.machine import GB
-from repro.metrics import ClientStats, HardwareMonitor, summarize
+from repro.metrics import (
+    CacheStats,
+    ClientStats,
+    HardwareMonitor,
+    StageProfiler,
+    safe_percentile,
+    summarize,
+)
 from repro.sim import Simulator
 
 
@@ -30,6 +37,119 @@ def test_summarize_empty():
 def test_summarize_p95():
     summary = summarize(range(100))
     assert summary.p95 == pytest.approx(94.05)
+
+
+def test_summarize_ignores_non_finite_samples():
+    clean = summarize([1.0, 2.0, 3.0])
+    poisoned = summarize([1.0, float("nan"), 2.0, float("inf"), 3.0])
+    assert poisoned == clean
+    assert poisoned.count == 3
+
+
+def test_summarize_all_non_finite_is_empty():
+    summary = summarize([float("nan"), float("inf")])
+    assert summary.count == 0
+    assert summary.mean == 0.0
+
+
+# ----------------------------------------------------------------------
+# safe_percentile
+# ----------------------------------------------------------------------
+def test_safe_percentile_empty_returns_none():
+    assert safe_percentile([], 95.0) is None
+
+
+def test_safe_percentile_all_nan_returns_none():
+    assert safe_percentile([float("nan"), float("nan")], 50.0) is None
+
+
+def test_safe_percentile_filters_non_finite():
+    values = [1.0, float("nan"), 3.0, float("inf")]
+    assert safe_percentile(values, 50.0) == pytest.approx(2.0)
+    assert safe_percentile(range(100), 95.0) == pytest.approx(94.05)
+
+
+# ----------------------------------------------------------------------
+# CacheStats
+# ----------------------------------------------------------------------
+def test_cache_stats_hit_rate_none_without_lookups():
+    stats = CacheStats(insertions=3, entries=3, size_bytes=96)
+    assert stats.lookups == 0
+    assert stats.hit_rate is None
+    assert stats.as_dict()["hit_rate"] is None
+
+
+def test_cache_stats_hit_rate_and_dict():
+    stats = CacheStats(hits=3, misses=1, insertions=1, entries=1,
+                       size_bytes=64)
+    assert stats.lookups == 4
+    assert stats.hit_rate == pytest.approx(0.75)
+    payload = stats.as_dict()
+    assert payload["hits"] == 3
+    assert payload["hit_rate"] == pytest.approx(0.75)
+
+
+def test_cache_stats_delta_subtracts_counters_keeps_gauges():
+    earlier = CacheStats(hits=10, misses=5, insertions=5, evictions=1,
+                         entries=4, size_bytes=100)
+    later = CacheStats(hits=13, misses=6, insertions=7, evictions=2,
+                       entries=6, size_bytes=150)
+    delta = later.delta(earlier)
+    assert (delta.hits, delta.misses) == (3, 1)
+    assert (delta.insertions, delta.evictions) == (2, 1)
+    assert (delta.entries, delta.size_bytes) == (6, 150)
+
+
+# ----------------------------------------------------------------------
+# StageProfiler
+# ----------------------------------------------------------------------
+def test_profiler_accumulates_calls_and_time():
+    profiler = StageProfiler()
+    with profiler.stage("kernel"):
+        pass
+    profiler.record("kernel", 5_000_000)
+    record = profiler.snapshot()["kernel"]
+    assert record.calls == 2
+    assert record.total_ms >= 5.0
+    assert record.mean_ms == pytest.approx(record.total_ms / 2)
+
+
+def test_profiler_disabled_records_nothing():
+    profiler = StageProfiler(enabled=False)
+    with profiler.stage("kernel"):
+        pass
+    profiler.record("kernel", 123)
+    assert profiler.snapshot() == {}
+
+
+def test_profiler_delta_omits_unchanged_stages():
+    profiler = StageProfiler()
+    profiler.record("warm", 1000)
+    before = profiler.snapshot()
+    profiler.record("hot", 2000)
+    delta = profiler.delta(before)
+    assert set(delta) == {"hot"}
+    assert delta["hot"].calls == 1
+
+
+def test_profiler_counts_exceptions_and_resets():
+    profiler = StageProfiler()
+    with pytest.raises(RuntimeError):
+        with profiler.stage("failing"):
+            raise RuntimeError("boom")
+    assert profiler.snapshot()["failing"].calls == 1
+    profiler.reset()
+    assert profiler.snapshot() == {}
+
+
+def test_profiler_as_dict_and_empty_mean():
+    profiler = StageProfiler()
+    profiler.record("stage", 2_000_000)
+    payload = profiler.as_dict()["stage"]
+    assert payload["calls"] == 1
+    assert payload["total_ms"] == pytest.approx(2.0)
+    assert StageProfiler().as_dict() == {}
+    assert CacheStats().delta(CacheStats()).hit_rate is None
 
 
 # ----------------------------------------------------------------------
