@@ -174,15 +174,37 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _flow_from_args(args: argparse.Namespace):
+    """Build a FlowConfig from ``run``'s flow flags (None when off)."""
+    if not (args.flow or args.admission or args.batch_max):
+        return None
+    if args.pipeline != "scatterpp":
+        raise SystemExit("--flow requires --pipeline scatterpp "
+                         "(the flow substrate lives in the sidecars)")
+    from repro.flow import default_flow_config
+
+    overrides = {}
+    if args.admission:
+        overrides["admission"] = args.admission
+    if args.batch_max:
+        overrides["batch_max"] = args.batch_max
+    return default_flow_config().with_overrides(**overrides)
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     _disable_feature_cache_if_requested(args)
     config = _named_config(args.config)
-    runner = (run_scatterpp_experiment
-              if args.pipeline == "scatterpp"
-              else run_scatter_experiment)
-    result = runner(config, num_clients=args.clients,
-                    duration_s=args.duration, seed=args.seed,
-                    tracing=args.trace)
+    flow = _flow_from_args(args)
+    if args.pipeline == "scatterpp":
+        result = run_scatterpp_experiment(
+            config, num_clients=args.clients,
+            duration_s=args.duration, seed=args.seed,
+            flow=flow, tracing=args.trace)
+    else:
+        result = run_scatter_experiment(
+            config, num_clients=args.clients,
+            duration_s=args.duration, seed=args.seed,
+            tracing=args.trace)
     print(format_table(["metric", "value"], [
         ["config", result.config_name],
         ["pipeline", args.pipeline],
@@ -200,6 +222,22 @@ def cmd_run(args: argparse.Namespace) -> int:
           result.service_memory_gb().get(service, 0.0)]
          for service, latency
          in result.service_latency_ms().items()]))
+    if result.flow is not None:
+        print()
+        services = result.flow["services"]
+        print(format_table(
+            ["service", "enqueued", "rejected", "dispatched",
+             "dropped_stale", "pending"],
+            [[service,
+              ledger.get("enqueued", 0), ledger.get("rejected", 0),
+              ledger.get("dispatched", 0),
+              ledger.get("dropped_stale", 0),
+              ledger.get("pending", 0)]
+             for service, ledger in services.items()]))
+        print(f"\nclient frames paced: {result.flow['paced_frames']}, "
+              f"batched: {result.flow['batched_frames']} frames in "
+              f"{result.flow['batched_rounds']} rounds, shed on "
+              f"backpressure: {result.flow['shed_backpressure']}")
     if args.trace and result.tracer is not None:
         print()
         breakdown = result.tracer.mean_breakdown_ms()
@@ -247,6 +285,56 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.store:
         print(f"\nper-cell summaries stored under {args.store}/")
     return 0 if not report.failures else 1
+
+
+def cmd_capacity(args: argparse.Namespace) -> int:
+    _disable_feature_cache_if_requested(args)
+    from repro.experiments import capacity as capacity_mod
+    from repro.experiments.capacity import (
+        CapacitySlo,
+        run_capacity_comparison,
+        run_capacity_experiment,
+    )
+    from repro.flow import default_flow_config
+
+    config = _named_config(args.config)
+    slo_kwargs = {}
+    if args.slo_fps is not None:
+        slo_kwargs["min_fps"] = args.slo_fps
+    if args.slo_p95_ms is not None:
+        slo_kwargs["max_p95_ms"] = args.slo_p95_ms
+    slo = CapacitySlo(**slo_kwargs)
+    kwargs = dict(
+        slo=slo, seed=args.seed,
+        duration_s=(args.duration if args.duration is not None
+                    else capacity_mod.DEFAULT_PROBE_DURATION_S),
+        max_clients=(args.max_clients
+                     if args.max_clients is not None
+                     else capacity_mod.DEFAULT_MAX_CLIENTS),
+        progress=lambda line: print(f"  ... {line}"))
+
+    def print_report(report) -> None:
+        print(format_table(
+            ["clients", "FPS", "p95 E2E(ms)", "success", "SLO"],
+            [[p.clients, p.fps, p.p95_e2e_ms, p.success_rate,
+              "pass" if p.meets_slo else "fail"]
+             for p in report.probes]))
+        print(f"max clients at SLO: {report.max_clients}")
+
+    if args.compare:
+        comparison = run_capacity_comparison(config, **kwargs)
+        print(f"\n# flow OFF ({config.name})")
+        print_report(comparison["off"])
+        print(f"\n# flow ON ({config.name})")
+        print_report(comparison["on"])
+        print(f"\ncapacity gain (on/off): {comparison['gain']:.2f}x")
+    else:
+        flow = default_flow_config() if args.flow else None
+        report = run_capacity_experiment(config, flow=flow, **kwargs)
+        arm = "ON" if args.flow else "OFF"
+        print(f"\n# flow {arm} ({config.name})")
+        print_report(report)
+    return 0
 
 
 def cmd_optimize(args: argparse.Namespace) -> int:
@@ -322,6 +410,17 @@ def build_parser() -> argparse.ArgumentParser:
                      help="disable the content-addressed feature "
                           "cache (results are bit-identical; only "
                           "wall-clock time changes)")
+    run.add_argument("--flow", action="store_true",
+                     help="engage the flow-control substrate "
+                          "(admission control + credit backpressure "
+                          "+ batched dispatch); scatterpp only")
+    run.add_argument("--admission", default=None,
+                     choices=("always", "token-bucket",
+                              "queue-gradient"),
+                     help="admission policy (implies --flow)")
+    run.add_argument("--batch-max", type=int, default=None,
+                     help="max frames per dispatch batch "
+                          "(implies --flow)")
 
     testbed = sub.add_parser("testbed", help="show the testbed")
     testbed.add_argument("--clients", type=int, default=4)
@@ -347,6 +446,29 @@ def build_parser() -> argparse.ArgumentParser:
                                "cache in this process and all worker "
                                "processes (bit-identical results)")
 
+    capacity = sub.add_parser(
+        "capacity",
+        help="binary-search max clients meeting the FPS/p95 SLO")
+    capacity.add_argument("--config", default="C12",
+                          help="C1|C2|C12|C21|cloud|hybrid|1,2,2,1,2")
+    capacity.add_argument("--duration", type=float, default=None,
+                          help="virtual seconds per probe")
+    capacity.add_argument("--seed", type=int, default=0)
+    capacity.add_argument("--max-clients", type=int, default=None,
+                          help="probe ceiling for the search")
+    capacity.add_argument("--slo-fps", type=float, default=None,
+                          help="minimum mean per-client FPS")
+    capacity.add_argument("--slo-p95-ms", type=float, default=None,
+                          help="maximum p95 E2E latency (ms)")
+    capacity.add_argument("--flow", action="store_true",
+                          help="probe with the flow substrate on")
+    capacity.add_argument("--compare", action="store_true",
+                          help="probe both arms (flow off, then on) "
+                               "and report the capacity gain")
+    capacity.add_argument("--no-feature-cache", action="store_true",
+                          help="disable the feature cache "
+                               "(bit-identical results)")
+
     optimize = sub.add_parser(
         "optimize", help="search placements analytically")
     optimize.add_argument("--machines", default="e1,e2",
@@ -369,6 +491,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "testbed": cmd_testbed,
         "optimize": cmd_optimize,
         "campaign": cmd_campaign,
+        "capacity": cmd_capacity,
     }
     return handlers[args.command](args)
 

@@ -18,12 +18,13 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.cluster.container import Container
 from repro.dsp.record import FrameRecord, RecordKind
+from repro.flow.credits import CreditAdvertisement, CreditLedger
 from repro.metrics.summary import SampleReservoir
 from repro.net.addresses import Address, ServiceRegistry
 from repro.net.datagram import (
@@ -53,6 +54,9 @@ class ServiceStats:
     processed: int = 0
     dropped_busy: int = 0
     failed: int = 0
+    #: Sends withheld because the downstream's advertised credits ran
+    #: dry (flow control; zero when the substrate is off).
+    shed_backpressure: int = 0
     latency_samples_s: List[float] = field(
         default_factory=SampleReservoir)
     #: (timestamp, count) arrival markers for ingress-FPS accounting.
@@ -88,6 +92,12 @@ class StreamService:
     SPIKE_PROB = 0.04
     SPIKE_FACTOR = 2.5
 
+    #: Marginal compute cost of each additional frame in a batched
+    #: dispatch, relative to the first: setup/transfer overhead is paid
+    #: once and the vectorized kernels (``encode_batch``,
+    #: ``signature_batch``) amortize the per-frame work.
+    BATCH_MARGINAL_COST = 0.45
+
     def __init__(self, *, name: str, network: Network,
                  registry: ServiceRegistry, container: Container,
                  address: Address, base_time_s: float,
@@ -118,6 +128,12 @@ class StreamService:
         self.stats = ServiceStats()
         #: Optional distributed tracer (see repro.metrics.tracing).
         self.tracer = None
+        #: Flow-control config (see repro.flow); ``None`` keeps every
+        #: send path byte-identical to the pre-flow simulator.
+        self.flow = None
+        #: Downstream credit views, keyed by downstream service name,
+        #: populated from CreditAdvertisement packets when flow is on.
+        self._credit_ledgers: Dict[str, CreditLedger] = {}
         self._busy = False
         self._started = False
 
@@ -170,6 +186,9 @@ class StreamService:
         record = datagram.payload
         if isinstance(record, HealthProbe):
             self._on_health_probe(record)
+            return
+        if isinstance(record, CreditAdvertisement):
+            self.on_credit(record)
             return
         if not isinstance(record, FrameRecord):
             return  # stray packet: UDP silently discards
@@ -235,6 +254,24 @@ class StreamService:
     def on_dropped(self, record: FrameRecord) -> None:
         """Called when ingress work is dropped because we are busy."""
 
+    def on_credit(self, advertisement: CreditAdvertisement) -> None:
+        """Fold a downstream sidecar's credit advertisement in.
+
+        Without a flow config the packet is ignored (a no-flow service
+        can receive one when only part of the pipeline runs flow)."""
+        if self.flow is None or not self.flow.credits:
+            return
+        ledger = self._credit_ledgers.get(advertisement.service)
+        if ledger is None:
+            ledger = CreditLedger(advertisement.service,
+                                  ttl_s=self.flow.credit_ttl_s)
+            self._credit_ledgers[advertisement.service] = ledger
+        ledger.update(advertisement, self.sim.now)
+
+    def credit_ledger(self, service: str) -> Optional[CreditLedger]:
+        """This sender's view of ``service``'s credits (or ``None``)."""
+        return self._credit_ledgers.get(service)
+
     # ------------------------------------------------------------------
     # Helpers for subclasses
     # ------------------------------------------------------------------
@@ -254,6 +291,45 @@ class StreamService:
             noisy *= self.SPIKE_FACTOR
         yield from self.container.compute(noisy,
                                           gpu_intensity=self.gpu_intensity)
+
+    def compute_batch(self, records: List[FrameRecord],
+                      base_time_s: Optional[float] = None):
+        """Consume compute for a whole batch in one amortized pass.
+
+        The first frame costs the full base time; each additional one
+        costs :attr:`BATCH_MARGINAL_COST` of it (setup paid once, the
+        vectorized kernels do the rest).  One noise/spike draw covers
+        the batch — two RNG draws per *round* instead of per frame.
+        """
+        if not records:
+            raise ValueError("compute_batch needs at least one record")
+        base = self.base_time_s if base_time_s is None else base_time_s
+        if self.cost_model is not None:
+            base *= float(np.mean([
+                self.cost_model.multiplier(record.frame_number)
+                for record in records]))
+        amortized = base * (1.0 + self.BATCH_MARGINAL_COST
+                            * (len(records) - 1))
+        noisy = amortized * float(
+            self.rng.lognormal(0.0, self.TIME_NOISE_SIGMA))
+        if self.rng.random() < self.SPIKE_PROB:
+            noisy *= self.SPIKE_FACTOR
+        yield from self.container.compute(noisy,
+                                          gpu_intensity=self.gpu_intensity)
+
+    def process_batch(self, records: List[FrameRecord]):
+        """Handle a batched dispatch (simulation-process generator).
+
+        The default just runs :meth:`process` back to back — correct
+        for any stage, amortizing nothing.  Batch-aware stages override
+        this with one :meth:`compute_batch` pass.
+        """
+        for record in records:
+            self._current_record = record
+            try:
+                yield from self.process(record)
+            finally:
+                self._current_record = None
 
     def send(self, destination: Address, record: FrameRecord) -> bool:
         """Send a record to a concrete address.
@@ -278,7 +354,19 @@ class StreamService:
                                  record.size_bytes)
 
     def send_downstream(self, service: str, record: FrameRecord) -> bool:
-        """Send to the named service via the registry's balancer."""
+        """Send to the named service via the registry's balancer.
+
+        With flow control on, a send is withheld when the downstream's
+        advertised credits are exhausted — the frame would only age out
+        in its queue, so the bytes never travel (``shed_backpressure``).
+        Without a fresh credit signal the send always proceeds.
+        """
+        if (self.flow is not None and self.flow.credits
+                and record.kind is RecordKind.FRAME):
+            ledger = self._credit_ledgers.get(service)
+            if ledger is not None and not ledger.take(self.sim.now):
+                self.stats.shed_backpressure += 1
+                return False
         try:
             destination = self.registry.resolve(service)
         except LookupError:

@@ -38,6 +38,7 @@ from repro.experiments.reporting import format_table
 from repro.experiments.runner import (
     run_scatter_experiment,
     run_scatterpp_experiment,
+    run_scatterpp_flow_experiment,
 )
 from repro.experiments.store import ResultStore
 from repro.scatter.config import (
@@ -51,6 +52,7 @@ from repro.scatter.config import (
 RUNNERS: Dict[str, Callable] = {
     "scatter": run_scatter_experiment,
     "scatterpp": run_scatterpp_experiment,
+    "scatterpp-flow": run_scatterpp_flow_experiment,
 }
 
 

@@ -64,6 +64,10 @@ class ExperimentResult:
     #: (from :class:`repro.metrics.profiling.StageProfiler`); empty
     #: profiles are reported as None.
     kernel_profile: Optional[dict] = None
+    #: Flow-control summary — the active config plus per-service frame
+    #: conservation ledgers; present only when the run had a flow
+    #: config attached.
+    flow: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Client QoS aggregates
@@ -172,7 +176,7 @@ def _build(placement: PlacementConfig, num_clients: int, seed: int,
            client_netem: Optional[Netem],
            pipeline_kwargs: Optional[dict],
            resilience: Optional[ResilienceConfig] = None,
-           watchdog: bool = True) -> tuple:
+           watchdog: bool = True, flow=None) -> tuple:
     sim = Simulator()
     rng = RngRegistry(seed)
     testbed = build_paper_testbed(sim, rng, num_clients=num_clients)
@@ -189,8 +193,46 @@ def _build(placement: PlacementConfig, num_clients: int, seed: int,
         clients.append(ArClient(
             client_id=index, node=node, network=testbed.network,
             registry=orchestrator.registry, resilience=resilience,
-            rng=rng.stream(f"client.{index}")))
+            flow=flow, rng=rng.stream(f"client.{index}")))
     return sim, testbed, orchestrator, pipeline, clients
+
+
+def flow_summary(pipeline: ScatterPipeline, clients, flow
+                 ) -> Optional[dict]:
+    """JSON-ready flow ledger for a finished run (``None`` sans flow).
+
+    Carries the active knobs plus every sidecar's conservation ledger
+    summed per service — which is how the workers-0/4 invariant checks
+    see the counters across a process boundary.
+    """
+    if flow is None:
+        return None
+    from dataclasses import asdict
+
+    from repro.flow.invariants import ledger_totals, sidecar_ledger
+
+    ledgers = []
+    for service_name in scatter_config.PIPELINE_ORDER:
+        for instance in pipeline.instances(service_name):
+            if hasattr(instance, "sidecar"):
+                ledgers.append(sidecar_ledger(instance))
+    sidecars = [instance.sidecar
+                for service_name in scatter_config.PIPELINE_ORDER
+                for instance in pipeline.instances(service_name)
+                if hasattr(instance, "sidecar")]
+    return {
+        "config": asdict(flow),
+        "services": ledger_totals(ledgers),
+        "paced_frames": sum(c.stats.frames_paced for c in clients),
+        "batched_rounds": sum(s.stats.batched_rounds
+                              for s in sidecars),
+        "batched_frames": sum(s.stats.batched_frames
+                              for s in sidecars),
+        "shed_backpressure": sum(
+            instance.stats.shed_backpressure
+            for service_name in scatter_config.PIPELINE_ORDER
+            for instance in pipeline.instances(service_name)),
+    }
 
 
 def _attach_tracer(orchestrator, clients):
@@ -235,21 +277,25 @@ def run_scatterpp_experiment(
         threshold_s: Optional[float] = None,
         stateless_sift: bool = True,
         with_sidecars: bool = True,
+        flow=None,
         tracing: bool = False) -> ExperimentResult:
     """Deploy scAtteR++ (stateless sift + sidecars) and run clients.
 
     ``stateless_sift`` / ``with_sidecars`` exist for the component
-    ablation — disabling both reduces to plain scAtteR.
+    ablation — disabling both reduces to plain scAtteR.  ``flow`` (a
+    :class:`~repro.flow.FlowConfig`) engages the flow substrate on
+    every sidecar *and* every client; ``None`` reproduces the paper's
+    behaviour — and the golden trace digests — byte for byte.
     """
     from repro.scatterpp.analytics import SidecarAnalytics
     from repro.scatterpp.pipeline import scatterpp_pipeline_kwargs
 
     kwargs = scatterpp_pipeline_kwargs(
         threshold_s=threshold_s, stateless_sift=stateless_sift,
-        with_sidecars=with_sidecars)
+        with_sidecars=with_sidecars, flow=flow)
     scope = _ComputeScope()
     sim, testbed, orchestrator, pipeline, clients = _build(
-        placement, num_clients, seed, client_netem, kwargs)
+        placement, num_clients, seed, client_netem, kwargs, flow=flow)
     analytics = None
     if with_sidecars:
         analytics = SidecarAnalytics(sim)
@@ -268,7 +314,28 @@ def run_scatterpp_experiment(
         analytics=analytics, tracer=tracer,
         trace_digest=sim.fingerprint(),
         feature_cache=scope.cache_delta(),
-        kernel_profile=scope.profile_delta())
+        kernel_profile=scope.profile_delta(),
+        flow=flow_summary(pipeline, clients, flow))
+
+
+def run_scatterpp_flow_experiment(
+        placement: PlacementConfig, *, num_clients: int,
+        duration_s: float = DEFAULT_DURATION_S, seed: int = 0,
+        client_netem: Optional[Netem] = None,
+        threshold_s: Optional[float] = None,
+        tracing: bool = False) -> ExperimentResult:
+    """scAtteR++ with the default flow substrate engaged.
+
+    The campaign-facing variant (registered as ``scatterpp-flow``):
+    same signature contract as the other runners so
+    :mod:`repro.experiments.parallel` can shard it across workers.
+    """
+    from repro.flow import default_flow_config
+
+    return run_scatterpp_experiment(
+        placement, num_clients=num_clients, duration_s=duration_s,
+        seed=seed, client_netem=client_netem, threshold_s=threshold_s,
+        flow=default_flow_config(), tracing=tracing)
 
 
 def run_ramp_experiment(

@@ -43,6 +43,11 @@ def summarize_result(result) -> Dict:
         # contract (which compares metrics and digests, not these).
         "feature_cache": getattr(result, "feature_cache", None),
         "kernel_profile": getattr(result, "kernel_profile", None),
+        # Flow-control ledgers (admission/batching/credits counters);
+        # None for every run without a flow config.  Carried in the
+        # summary so conservation invariants are checkable across the
+        # campaign's process boundary (workers 0 vs N).
+        "flow": getattr(result, "flow", None),
     }
 
 

@@ -1,0 +1,131 @@
+"""Frame-conservation bookkeeping and checks.
+
+Every frame that reaches a sidecar must be accounted for exactly once:
+
+* at ingress — admitted (``enqueued``), rejected by admission control,
+  refused for a full queue (``dropped_overflow``), or refused because
+  the sidecar was already detached;
+* at egress — served (``dispatched``), dropped stale, lost to a failed
+  dispatch (instance died mid-RPC), freed when the sidecar detached,
+  still queued (``pending``), or in flight in the current dispatch
+  round.
+
+:func:`sidecar_ledger` snapshots both ledgers for one sidecar;
+:func:`check_sidecar_conservation` asserts they balance *exactly* (the
+in-flight term makes the equation an identity, not an inequality), and
+:func:`check_result_conservation` audits every sidecar of a finished
+experiment — the hook both the property suite and the capacity
+benchmark call per probed cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List
+
+
+class ConservationError(AssertionError):
+    """A sidecar's frame ledger failed to balance."""
+
+
+@dataclass(frozen=True)
+class SidecarLedger:
+    """One sidecar's complete frame ledger at a point in time."""
+
+    service: str
+    instance: str
+    enqueued: int
+    rejected: int
+    dropped_overflow: int
+    detach_refused: int
+    dispatched: int
+    dropped_stale: int
+    dispatch_failed: int
+    detach_drained: int
+    pending: int
+    in_flight: int
+
+    @property
+    def arrivals(self) -> int:
+        """Every frame ever offered to the sidecar's ingress."""
+        return (self.enqueued + self.rejected + self.dropped_overflow
+                + self.detach_refused)
+
+    @property
+    def exits(self) -> int:
+        """Admitted frames that have left (or still occupy) the queue."""
+        return (self.dispatched + self.dropped_stale
+                + self.dispatch_failed + self.detach_drained
+                + self.pending + self.in_flight)
+
+    @property
+    def balance(self) -> int:
+        """``enqueued - exits``; zero iff the ledger conserves frames."""
+        return self.enqueued - self.exits
+
+    def as_dict(self) -> Dict[str, int]:
+        data = {key: value for key, value in asdict(self).items()
+                if isinstance(value, int)}
+        data["balance"] = self.balance
+        return data
+
+
+def sidecar_ledger(service) -> SidecarLedger:
+    """Snapshot the conservation ledger of a sidecar-fronted service."""
+    sidecar = service.sidecar
+    stats = sidecar.stats
+    return SidecarLedger(
+        service=service.name,
+        instance=str(service.address),
+        enqueued=stats.enqueued,
+        rejected=stats.rejected,
+        dropped_overflow=stats.dropped_overflow,
+        detach_refused=stats.detach_refused,
+        dispatched=stats.dispatched,
+        dropped_stale=stats.dropped_stale,
+        dispatch_failed=stats.dispatch_failed,
+        detach_drained=stats.dropped_detach - stats.detach_refused,
+        pending=sidecar.depth,
+        in_flight=sidecar.in_flight)
+
+
+def check_sidecar_conservation(service) -> SidecarLedger:
+    """Assert one sidecar's ledger balances exactly; return it."""
+    ledger = sidecar_ledger(service)
+    if ledger.balance != 0:
+        raise ConservationError(
+            f"{ledger.service}@{ledger.instance}: frame ledger off by "
+            f"{ledger.balance}: {ledger.as_dict()}")
+    if ledger.detach_drained < 0:
+        raise ConservationError(
+            f"{ledger.service}@{ledger.instance}: negative detach "
+            f"drain {ledger.detach_drained}")
+    return ledger
+
+
+def check_result_conservation(result) -> List[SidecarLedger]:
+    """Audit every sidecar of a finished experiment result.
+
+    Returns the per-instance ledgers (also useful as a serializable
+    flow summary).  Raises :class:`ConservationError` on the first
+    imbalance.  Services without sidecars (plain scAtteR) are skipped.
+    """
+    from repro.scatter.config import PIPELINE_ORDER
+
+    ledgers: List[SidecarLedger] = []
+    for service_name in PIPELINE_ORDER:
+        for instance in result.pipeline.instances(service_name):
+            if not hasattr(instance, "sidecar"):
+                continue
+            ledgers.append(check_sidecar_conservation(instance))
+    return ledgers
+
+
+def ledger_totals(ledgers: List[SidecarLedger]) -> Dict[str, Dict[str, int]]:
+    """Sum per-instance ledgers into a per-service dict (JSON-ready)."""
+    totals: Dict[str, Dict[str, int]] = {}
+    for ledger in ledgers:
+        bucket = totals.setdefault(ledger.service, {})
+        for key, value in ledger.as_dict().items():
+            bucket[key] = bucket.get(key, 0) + value
+    return totals

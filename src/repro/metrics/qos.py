@@ -31,6 +31,11 @@ class ClientStats:
     #: Frames answered by the *local* fallback tracker instead of the
     #: pipeline (graceful degradation while the circuit breaker is open).
     degraded: Dict[int, float] = field(default_factory=dict)
+    #: Frames withheld at the client by flow-control pacing (the
+    #: ingress sidecar's credits ran dry, or the client's own token
+    #: bucket did).  Paced frames stay in ``sent`` — they count
+    #: against the success rate like any other unanswered frame.
+    paced: Dict[int, float] = field(default_factory=dict)
     e2e_latencies_s: List[float] = field(default_factory=list)
     #: Resilience-layer counters (zero when the layer is disabled).
     retries: int = 0
@@ -72,6 +77,16 @@ class ClientStats:
             return
         self.degraded[frame_number] = timestamp_s
 
+    def record_paced(self, frame_number: int,
+                     timestamp_s: float) -> None:
+        """A frame withheld by client-side flow-control pacing."""
+        if frame_number not in self.sent:
+            raise ValueError(
+                f"paced mark for unknown frame {frame_number}")
+        if frame_number in self.paced:
+            return
+        self.paced[frame_number] = timestamp_s
+
     # ------------------------------------------------------------------
     # Derived metrics
     # ------------------------------------------------------------------
@@ -87,10 +102,20 @@ class ClientStats:
     def frames_degraded(self) -> int:
         return len(self.degraded)
 
+    @property
+    def frames_paced(self) -> int:
+        return len(self.paced)
+
     def success_rate(self) -> float:
         if not self.sent:
             return 0.0
         return self.frames_received / self.frames_sent
+
+    def paced_rate(self) -> float:
+        """Fraction of frames withheld by flow-control pacing."""
+        if not self.sent:
+            return 0.0
+        return self.frames_paced / self.frames_sent
 
     def degraded_rate(self) -> float:
         if not self.sent:

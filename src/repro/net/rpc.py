@@ -89,6 +89,7 @@ class RpcChannel:
         self.network = network
         self.src_node = src_node
         self.calls_issued = 0
+        self.notifications_sent = 0
 
     def call(self, dst: Address, request: object,
              size_bytes: int) -> Waitable:
@@ -107,6 +108,28 @@ class RpcChannel:
         else:
             self.network.deliver_after(delay, dst, envelope)
         return reply
+
+    def notify(self, dst: Address, payload: object,
+               size_bytes: int) -> bool:
+        """One-way reliable delivery of a control message.
+
+        Used by the flow substrate for credit advertisements: the
+        receiver gets a plain :class:`~repro.net.datagram.Datagram`
+        (its normal ingress handler sees the payload), no response
+        travels back, and the caller never blocks.  Returns whether
+        the message survived the path.
+        """
+        from repro.net.datagram import Datagram
+
+        self.notifications_sent += 1
+        delay = reliable_path_delay(self.network, self.src_node,
+                                    dst.node, size_bytes=size_bytes)
+        if delay is None:
+            return False
+        datagram = Datagram(payload=payload, size_bytes=size_bytes,
+                            src=Address(self.src_node, 0), dst=dst)
+        self.network.deliver_after(delay, dst, datagram)
+        return True
 
 
 def reliable_path_delay(network: Network, src: str, dst: str,

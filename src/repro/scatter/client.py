@@ -26,6 +26,8 @@ from typing import Optional
 import numpy as np
 
 from repro.dsp.record import FrameRecord, RecordKind
+from repro.flow.credits import (CreditAdvertisement, CreditLedger,
+                                TokenBucket)
 from repro.metrics.qos import ClientStats
 from repro.net.addresses import Address, ServiceRegistry
 from repro.net.datagram import Datagram
@@ -49,6 +51,7 @@ class ArClient:
                  fps: float = config.CLIENT_FPS,
                  start_offset_s: Optional[float] = None,
                  resilience: Optional[ResilienceConfig] = None,
+                 flow=None,
                  rng: Optional[np.random.Generator] = None):
         if fps <= 0:
             raise ValueError(f"fps must be positive, got {fps}")
@@ -74,11 +77,28 @@ class ArClient:
             self.breaker = resilience.build_breaker(self.sim)
             if resilience.fallback:
                 self.fallback = LocalFallbackTracker(seed=client_id)
+        #: Flow control (see repro.flow): with ``client_pacing`` on the
+        #: send path consults a token bucket plus the ingress sidecar's
+        #: advertised credits instead of blind fire-and-drop.  ``None``
+        #: keeps the paper's baseline behaviour exactly.
+        self.flow = flow
+        self.pacer: Optional[TokenBucket] = None
+        self.ingress_credits: Optional[CreditLedger] = None
+        if flow is not None and flow.client_pacing:
+            rate = (flow.client_rate_fps
+                    if flow.client_rate_fps is not None else fps)
+            self.pacer = TokenBucket(rate, flow.client_burst)
+            self.ingress_credits = CreditLedger(
+                "primary", ttl_s=flow.credit_ttl_s)
         self._running = False
         network.bind(self.address, self._on_delivery)
 
     def _on_delivery(self, datagram: Datagram) -> None:
         record = datagram.payload
+        if isinstance(record, CreditAdvertisement):
+            if self.ingress_credits is not None:
+                self.ingress_credits.update(record, self.sim.now)
+            return
         if (isinstance(record, FrameRecord)
                 and record.kind is RecordKind.RESULT
                 and record.client_id == self.client_id):
@@ -115,6 +135,8 @@ class ArClient:
         self._running = False
 
     def _send_frame(self, frame_number: int) -> None:
+        if self.pacer is not None and not self._pace(frame_number):
+            return
         record = FrameRecord(
             client_id=self.client_id, frame_number=frame_number,
             reply_to=self.address, step="primary",
@@ -128,6 +150,26 @@ class ArClient:
             self._transmit(record)
         else:
             self._dispatch(record, attempt=0)
+
+    def _pace(self, frame_number: int) -> bool:
+        """Flow-control gate on one send; ``False`` sheds the frame.
+
+        A frame is withheld when the ingress sidecar's advertised
+        credits are exhausted (it would only age out in the queue) or
+        the client's own token bucket is dry.  Withheld frames stay in
+        the send log as *paced* — honest accounting: they count
+        against the success rate like any other unanswered frame.
+        """
+        assert self.pacer is not None
+        now = self.sim.now
+        admitted = (self.ingress_credits is None
+                    or self.ingress_credits.take(now))
+        if admitted:
+            admitted = self.pacer.take(now)
+        if not admitted:
+            self.stats.record_sent(frame_number, now)
+            self.stats.record_paced(frame_number, now)
+        return admitted
 
     def _transmit(self, record: FrameRecord) -> bool:
         try:

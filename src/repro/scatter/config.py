@@ -87,6 +87,16 @@ WIRE_SIZES = {
 CLIENT_FPS = 30.0
 VIDEO_DURATION_S = 10.0
 
+#: Capacity-probe service-level objective (see
+#: :mod:`repro.experiments.capacity`): a deployment "supports" N
+#: clients when the mean per-client analyzed-frame rate and the p95
+#: end-to-end latency both stay inside these bounds.  The latency
+#: bound is the paper's 100 ms XR budget (§5); the FPS floor is ⅔ of
+#: the 30 FPS replay rate — the knee the Fig. 7 capacity curves bend
+#: at.
+SLO_MIN_FPS = 20.0
+SLO_MAX_P95_MS = 100.0
+
 
 @dataclass(frozen=True)
 class PlacementConfig:

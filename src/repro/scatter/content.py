@@ -173,5 +173,42 @@ class FrameFeatureExtractor:
         self.frames_encoded += 1
         return vector
 
+    def encoding_batch(self, frame_numbers) -> List[np.ndarray]:
+        """Fisher vectors for several frames in one vectorized pass.
+
+        Cache hits are returned as-is; the misses run through
+        :meth:`~repro.vision.fisher.FisherEncoder.encode_batch` on one
+        concatenated matrix, whose outputs are bit-identical to
+        per-frame :meth:`encoding` calls — so the cache stays coherent
+        whichever path filled it.
+        """
+        if self.pca is None or self.encoder is None:
+            raise RuntimeError(
+                "FrameFeatureExtractor.encoding_batch() requires pca= "
+                "and encoder=")
+        vectors: List[Optional[np.ndarray]] = [None] * len(frame_numbers)
+        missing: List[Tuple[int, tuple, np.ndarray]] = []
+        for index, frame_number in enumerate(frame_numbers):
+            __, descriptors = self.features(frame_number)
+            if len(descriptors) == 0:
+                vectors[index] = np.zeros(self.encoder.dimension)
+                continue
+            key = ("fisher", array_digest(descriptors),
+                   self.pca.fingerprint(), self.encoder.fingerprint())
+            cached = self.cache.get(key)
+            if cached is not None:
+                vectors[index] = cached
+            else:
+                missing.append((index, key, descriptors))
+        if missing:
+            with self.profiler.stage("backend.encode"):
+                encoded = self.encoder.encode_batch([
+                    self.pca.transform(descriptors)
+                    for __, __k, descriptors in missing])
+            for (index, key, __), vector in zip(missing, encoded):
+                vectors[index] = self.cache.put(key, vector)
+        self.frames_encoded += len(frame_numbers)
+        return vectors  # type: ignore[return-value]
+
     def stats(self) -> CacheStats:
         return self.cache.stats()

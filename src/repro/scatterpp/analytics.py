@@ -27,6 +27,12 @@ class AnalyticsRow:
     dispatched_fps: float
     drop_ratio: float
     queue_depth: int
+    #: Fraction of this window's ingress shed by admission control —
+    #: kept apart from ``drop_ratio`` so shed load is never silently
+    #: undercounted (zero whenever flow control is off).
+    reject_ratio: float = 0.0
+    #: Serviceable-window credits at the sampling instant.
+    credits: int = 0
 
 
 class SidecarAnalytics:
@@ -69,12 +75,20 @@ class SidecarAnalytics:
             instance = str(service.address)
             stale = sidecar.stats.dropped_stale
             dispatched = sidecar.stats.dispatched
-            last_stale, last_dispatched = self._last_counts.get(
-                instance, (0, 0))
+            rejected = sidecar.stats.rejected
+            enqueued = sidecar.stats.enqueued
+            last = self._last_counts.get(instance, (0, 0, 0, 0))
+            last_stale, last_dispatched = last[0], last[1]
+            last_rejected = last[2] if len(last) > 2 else 0
+            last_enqueued = last[3] if len(last) > 3 else 0
             window_stale = stale - last_stale
             window_dispatched = dispatched - last_dispatched
+            window_rejected = rejected - last_rejected
+            window_arrivals = (enqueued - last_enqueued
+                               + window_rejected)
             exits = window_stale + window_dispatched
-            self._last_counts[instance] = (stale, dispatched)
+            self._last_counts[instance] = (stale, dispatched,
+                                           rejected, enqueued)
             self.rows.append(AnalyticsRow(
                 timestamp_s=self.sim.now,
                 service=service.name,
@@ -84,6 +98,9 @@ class SidecarAnalytics:
                 dispatched_fps=window_dispatched / self.interval_s,
                 drop_ratio=(window_stale / exits) if exits else 0.0,
                 queue_depth=sidecar.depth,
+                reject_ratio=((window_rejected / window_arrivals)
+                              if window_arrivals else 0.0),
+                credits=sidecar.credits(),
             ))
 
     # ------------------------------------------------------------------

@@ -30,6 +30,7 @@ def scatterpp_pipeline_kwargs(*, threshold_s: Optional[float] = None,
                               with_sidecars: bool = True,
                               queue_capacity: int = 256,
                               discipline: str = "fifo",
+                              flow=None,
                               service_kwargs: Optional[dict] = None) -> dict:
     """Keyword arguments for :class:`ScatterPipeline` deploying
     scAtteR++ (or one of its ablations).
@@ -37,11 +38,16 @@ def scatterpp_pipeline_kwargs(*, threshold_s: Optional[float] = None,
     * ``stateless_sift=False`` keeps the stateful sift↔matching loop.
     * ``with_sidecars=False`` keeps scAtteR's drop-when-busy ingress.
     * Both False reduces to plain scAtteR.
+    * ``flow`` (a :class:`~repro.flow.FlowConfig`) threads the flow
+      substrate through every sidecar; ``None`` keeps the paper's
+      behaviour — and the golden trace digests — exactly.
     """
     threshold = (DEFAULT_THRESHOLD_S if threshold_s is None
                  else threshold_s)
     if threshold <= 0:
         raise ValueError(f"threshold must be positive, got {threshold}")
+    if flow is not None and not with_sidecars:
+        raise ValueError("flow control requires with_sidecars=True")
 
     classes = dict(SERVICE_CLASSES)
     if stateless_sift:
@@ -53,7 +59,7 @@ def scatterpp_pipeline_kwargs(*, threshold_s: Optional[float] = None,
         classes = {
             name: sidecar_wrap(cls, threshold_s=threshold,
                                queue_capacity=queue_capacity,
-                               discipline=discipline)
+                               discipline=discipline, flow=flow)
             for name, cls in classes.items()
         }
     kwargs = {"service_classes": classes}

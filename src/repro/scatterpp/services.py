@@ -33,8 +33,7 @@ class StatelessSiftService(StreamService):
         #: simulated (virtual-time) cost is untouched.
         self.vision_backend = vision_backend
 
-    def process(self, record: FrameRecord):
-        yield from self.compute()
+    def _forward(self, record: FrameRecord) -> None:
         if self.vision_backend is not None:
             self.vision_backend.features(record.frame_number)
         downstream = record.advanced(
@@ -43,6 +42,16 @@ class StatelessSiftService(StreamService):
             packed_state=True)
         # No store, no sift_address pin: any replica can serve any frame.
         self.send_downstream("encoding", downstream)
+
+    def process(self, record: FrameRecord):
+        yield from self.compute()
+        self._forward(record)
+
+    def process_batch(self, records):
+        """Batched dispatch: one amortized extraction pass."""
+        yield from self.compute_batch(records)
+        for record in records:
+            self._forward(record)
 
 
 class PackedEncodingService(StreamService):
@@ -53,23 +62,44 @@ class PackedEncodingService(StreamService):
         #: Optional real vision substrate; see StatelessSiftService.
         self.vision_backend = vision_backend
 
+    def _forward(self, record: FrameRecord) -> None:
+        downstream = record.advanced(
+            "lsh", size_bytes=PACKED_WIRE_SIZES["encoding->lsh"])
+        self.send_downstream("lsh", downstream)
+
     def process(self, record: FrameRecord):
         yield from self.compute()
         if self.vision_backend is not None:
             self.vision_backend.encoding(record.frame_number)
-        downstream = record.advanced(
-            "lsh", size_bytes=PACKED_WIRE_SIZES["encoding->lsh"])
-        self.send_downstream("lsh", downstream)
+        self._forward(record)
+
+    def process_batch(self, records):
+        """Batched dispatch: one pass through ``encode_batch``."""
+        yield from self.compute_batch(records)
+        if self.vision_backend is not None:
+            self.vision_backend.encoding_batch(
+                [record.frame_number for record in records])
+        for record in records:
+            self._forward(record)
 
 
 class PackedLshService(StreamService):
     """LSH shortlist, forwarding the packed frame."""
 
-    def process(self, record: FrameRecord):
-        yield from self.compute()
+    def _forward(self, record: FrameRecord) -> None:
         downstream = record.advanced(
             "matching", size_bytes=PACKED_WIRE_SIZES["lsh->matching"])
         self.send_downstream("matching", downstream)
+
+    def process(self, record: FrameRecord):
+        yield from self.compute()
+        self._forward(record)
+
+    def process_batch(self, records):
+        """Batched dispatch: signatures vectorize across the batch."""
+        yield from self.compute_batch(records)
+        for record in records:
+            self._forward(record)
 
 
 class StatelessMatchingService(StreamService):
@@ -79,10 +109,18 @@ class StatelessMatchingService(StreamService):
         super().__init__(**kwargs)
         self.results_sent = 0
 
-    def process(self, record: FrameRecord):
-        yield from self.compute()
+    def _forward(self, record: FrameRecord) -> None:
         result = record.advanced(
             "client", kind=RecordKind.RESULT,
             size_bytes=config.WIRE_SIZES["matching->client"])
         self.send(record.reply_to, result)
         self.results_sent += 1
+
+    def process(self, record: FrameRecord):
+        yield from self.compute()
+        self._forward(record)
+
+    def process_batch(self, records):
+        yield from self.compute_batch(records)
+        for record in records:
+            self._forward(record)

@@ -1,4 +1,4 @@
-"""The queue sidecar (§5, Figure 5).
+"""The queue sidecar (§5, Figure 5) with an optional flow substrate.
 
 Attached to every service's ingress, the sidecar:
 
@@ -13,6 +13,23 @@ Attached to every service's ingress, the sidecar:
   and the threshold drop ratio — attached to the data's state and
   exported to :class:`~repro.scatterpp.analytics.SidecarAnalytics`.
 
+With a :class:`~repro.flow.FlowConfig` attached (``flow=``), three
+further mechanisms engage (see DESIGN.md §10):
+
+* **admission control** — a pluggable policy rejects frames at
+  ingress, before they cost a queue slot and state bytes;
+* **batched dispatch** — one dispatch round drains up to ``batch_max``
+  fresh frames and hands them over as one
+  :class:`~repro.dsp.record.FrameBatch`, amortizing the RPC overhead
+  and letting batch-aware stages vectorize their compute;
+* **credit advertisement** — the sidecar periodically tells its
+  upstreams how many more frames it could serve inside the staleness
+  budget, so senders can shed doomed work at the source.
+
+``flow=None`` (the default everywhere) spawns no extra processes and
+draws no RNG, so the event trajectory — and hence the golden trace
+digests — is byte-identical to the pre-flow sidecar.
+
 :func:`sidecar_wrap` turns any :class:`~repro.dsp.operator.
 StreamService` subclass into its sidecar-fronted variant, so the same
 stage logic runs in both scAtteR and scAtteR++.
@@ -21,10 +38,13 @@ stage logic runs in both scAtteR and scAtteR++.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple, Type
+from typing import Dict, List, Optional, Tuple, Type
 
 from repro.dsp.operator import StreamService
-from repro.dsp.record import FrameRecord
+from repro.dsp.record import FrameBatch, FrameRecord
+from repro.flow.admission import build_admission
+from repro.flow.config import FlowConfig
+from repro.flow.credits import CREDIT_WIRE_BYTES, CreditAdvertisement
 from repro.metrics.summary import SampleReservoir
 from repro.net.addresses import Address
 from repro.net.datagram import Datagram, HealthProbe
@@ -48,15 +68,32 @@ class SidecarStats:
 
     Queue-wait samples live in a bounded :class:`SampleReservoir` so
     long runs don't grow memory without limit; counters stay exact.
+    Only frames that were actually *served* contribute queue-wait
+    samples — stale drops and failed dispatches never pollute the
+    reservoir.
     """
 
     enqueued: int = 0
+    #: Frames refused by the admission policy (flow control); they
+    #: never occupy a queue slot.
+    rejected: int = 0
     dropped_stale: int = 0
     dropped_overflow: int = 0
     #: Frames still queued when the sidecar detached (instance stopped
-    #: or crashed): their state is freed and they count as drops.
+    #: or crashed) *plus* frames refused after detach: their state is
+    #: freed and they count as drops.
     dropped_detach: int = 0
+    #: The post-detach-refusal share of ``dropped_detach`` (never
+    #: entered the queue, so they are not part of ``enqueued``).
+    detach_refused: int = 0
     dispatched: int = 0
+    #: Frames lost because the hand-off RPC never completed (instance
+    #: died mid-dispatch).
+    dispatch_failed: int = 0
+    #: Dispatch rounds that carried more than one frame, and the
+    #: frames they carried (batched-dispatch accounting).
+    batched_rounds: int = 0
+    batched_frames: int = 0
     queue_wait_samples_s: List[float] = field(
         default_factory=SampleReservoir)
 
@@ -69,6 +106,16 @@ class SidecarStats:
         """Fraction of queue admissions refused for a full queue."""
         arrivals = self.enqueued + self.dropped_overflow
         return self.dropped_overflow / arrivals if arrivals else 0.0
+
+    def reject_ratio(self) -> float:
+        """Fraction of ingress arrivals shed by admission control.
+
+        Kept separate from :meth:`drop_ratio` (a queue-exit ratio) so
+        analytics rows don't silently undercount shed load: a sidecar
+        rejecting half its arrivals can still show a zero drop ratio.
+        """
+        arrivals = self.enqueued + self.rejected
+        return self.rejected / arrivals if arrivals else 0.0
 
 
 #: Queue disciplines the sidecar supports.
@@ -89,7 +136,8 @@ class Sidecar:
     def __init__(self, service: "StreamService", *,
                  threshold_s: float = 0.100,
                  queue_capacity: int = 256,
-                 discipline: str = "fifo"):
+                 discipline: str = "fifo",
+                 flow: Optional[FlowConfig] = None):
         if threshold_s <= 0:
             raise ValueError(
                 f"threshold_s must be positive, got {threshold_s}")
@@ -102,11 +150,25 @@ class Sidecar:
         self.threshold_s = threshold_s
         self.discipline = discipline
         self.queue_capacity = queue_capacity
+        self.flow = flow
+        self.admission = (build_admission(flow)
+                          if flow is not None else None)
+        self._batch_max = flow.batch_max if flow is not None else 1
+        #: Frames one service pass could clear inside the staleness
+        #: budget — the serviceable window credits are computed from.
+        self._window = max(1, int(threshold_s /
+                                  (service.base_time_s + RPC_OVERHEAD_S)))
         #: Wake-up tokens; the entries list holds the actual queue so
         #: the discipline can choose which entry a token redeems.
         self.queue: Store = Store(self.sim)
         self._entries: List[Tuple[FrameRecord, float]] = []
         self.stats = SidecarStats()
+        self._in_flight = 0
+        #: Upstream ingress addresses -> last time they sent a frame;
+        #: the credit advertiser's audience.
+        self._upstreams: Dict[Address, float] = {}
+        self._credit_seq = 0
+        self._epoch = 0
         self._channel = RpcChannel(service.network,
                                    service.address.node)
         self._rpc_address = Address(
@@ -119,10 +181,14 @@ class Sidecar:
     def attach(self) -> None:
         """Bind the service's gRPC endpoint and start dispatching."""
         self._detached = False
+        self._epoch += 1
         self._server = RpcServer(self.service.network, self._rpc_address,
                                  self._serve)
         self.sim.spawn(self._dispatch_loop(),
                        name=f"sidecar-{self.service.name}")
+        if self.flow is not None and self.flow.credits:
+            self.sim.spawn(self._advertise_loop(self._epoch),
+                           name=f"sidecar-credits-{self.service.name}")
 
     def detach(self) -> None:
         """Unbind the gRPC endpoint and drain the queue.
@@ -138,29 +204,63 @@ class Sidecar:
         if self._detached:
             return
         self._detached = True
+        self._epoch += 1
         for record, __ in self._entries:
             self.service.container.free_state(record.size_bytes)
             self.stats.dropped_detach += 1
         self._entries.clear()
         self.queue.put_nowait(True)  # wake the dispatcher to exit
 
-    def enqueue(self, record: FrameRecord) -> None:
-        """Admit a request into the queue (never busy-drops)."""
+    def enqueue(self, record: FrameRecord, *,
+                source: Optional[Address] = None) -> bool:
+        """Admit a request into the queue (never busy-drops).
+
+        ``source`` is the sender's ingress address; with credit flow
+        on it joins the advertiser's audience.  Returns whether the
+        frame entered the queue.
+        """
         if self._detached:
             self.stats.dropped_detach += 1
-            return
+            self.stats.detach_refused += 1
+            return False
+        if (source is not None and self.flow is not None
+                and self.flow.credits):
+            self._upstreams[source] = self.sim.now
+        if self.admission is not None and not self.admission.admit(
+                client_id=record.client_id, now=self.sim.now,
+                depth=len(self._entries), target_depth=self._window):
+            self.stats.rejected += 1
+            return False
         if len(self._entries) >= self.queue_capacity:
             self.stats.dropped_overflow += 1
-            return
+            return False
         self._entries.append((record, self.sim.now))
         self.queue.put_nowait(True)  # wake the dispatcher
         self.stats.enqueued += 1
         # Queued frames occupy service memory until dispatched.
         self.service.container.allocate_state(record.size_bytes)
+        return True
 
     @property
     def depth(self) -> int:
         return len(self._entries)
+
+    @property
+    def in_flight(self) -> int:
+        """Frames taken off the queue, hand-off RPC not yet resolved."""
+        return self._in_flight
+
+    def credits(self) -> int:
+        """Queue slots the sidecar can still serve inside the budget.
+
+        Clamped headroom: never negative, never beyond the remaining
+        queue capacity, never beyond the serviceable window minus work
+        already queued or in flight.
+        """
+        backlog = len(self._entries) + self._in_flight
+        serviceable = max(0, self._window - backlog)
+        headroom = max(0, self.queue_capacity - len(self._entries))
+        return min(serviceable, headroom)
 
     def _take(self) -> Tuple[FrameRecord, float]:
         """Select the next entry per the queue discipline."""
@@ -185,34 +285,112 @@ class Sidecar:
                 # service time on a frame the client no longer wants.
                 self.stats.dropped_stale += 1
                 continue
-            self.stats.queue_wait_samples_s.append(wait)
-            tracer = self.service.tracer
-            if tracer is not None:
+            batch = [(record, enqueued_at)]
+            if self._batch_max > 1:
+                self._fill_batch(batch)
+            yield from self._dispatch_round(batch)
+
+    def _fill_batch(self, batch: List[Tuple[FrameRecord, float]]) -> None:
+        """Drain further fresh entries into the round (no events).
+
+        Every entry taken redeems its own wake token, keeping the
+        token↔entry pairing exact; stale entries met along the way are
+        dropped just as the serial loop would have dropped them.
+        """
+        while len(batch) < self._batch_max and self._entries:
+            try:
+                self.queue.get_nowait()
+            except LookupError:
+                break  # no matching token yet: leave the entry queued
+            record, enqueued_at = self._take()
+            self.service.container.free_state(record.size_bytes)
+            if self.sim.now - enqueued_at > self.threshold_s:
+                self.stats.dropped_stale += 1
+                continue
+            batch.append((record, enqueued_at))
+
+    def _dispatch_round(self, batch: List[Tuple[FrameRecord, float]]):
+        """Hand one round (one frame, or a filled batch) to the service."""
+        taken_at = self.sim.now
+        tracer = self.service.tracer
+        if tracer is not None:
+            for record, enqueued_at in batch:
                 tracer.record_span(
                     record.key, record.created_s,
                     name=self.service.name, kind="queue",
                     instance=str(self.service.address),
-                    start_s=enqueued_at, end_s=self.sim.now)
+                    start_s=enqueued_at, end_s=taken_at)
+        if len(batch) == 1:
+            payload: object = batch[0][0]
+            size_bytes = batch[0][0].size_bytes
+        else:
+            payload = FrameBatch([record for record, __ in batch])
+            size_bytes = payload.size_bytes
+        self._in_flight += len(batch)
+        try:
             try:
-                call = self._channel.call(self._rpc_address, record,
-                                          size_bytes=record.size_bytes)
+                call = self._channel.call(self._rpc_address, payload,
+                                          size_bytes=size_bytes)
                 # Guard the hand-off: if the instance dies mid-dispatch
                 # the RPC reply never comes back, and without a bound
                 # the loop would hang on it forever.
                 guard = self.sim.timeout(DISPATCH_TIMEOUT_S)
                 winner, __ = yield self.sim.any_of([call, guard])
                 if winner is guard:
-                    continue
+                    self.stats.dispatch_failed += len(batch)
+                    return
             except RpcTimeoutError:
-                continue  # loopback loss is theoretical, but be safe
-            self.stats.dispatched += 1
-            # Service latency, as the sidecar reports it, spans queue
-            # entry to processing completion.
-            self.service.stats.latency_samples_s.append(
-                self.sim.now - enqueued_at)
+                # loopback loss is theoretical, but be safe
+                self.stats.dispatch_failed += len(batch)
+                return
+            self.stats.dispatched += len(batch)
+            if len(batch) > 1:
+                self.stats.batched_rounds += 1
+                self.stats.batched_frames += len(batch)
+            for record, enqueued_at in batch:
+                # Only *served* frames sample the queue-wait reservoir.
+                self.stats.queue_wait_samples_s.append(
+                    taken_at - enqueued_at)
+                # Service latency, as the sidecar reports it, spans
+                # queue entry to processing completion.
+                self.service.stats.latency_samples_s.append(
+                    self.sim.now - enqueued_at)
+        finally:
+            self._in_flight -= len(batch)
 
-    def _serve(self, record: FrameRecord):
+    # ------------------------------------------------------------------
+    def _advertise_loop(self, epoch: int):
+        """Periodically push serviceable credits to known upstreams."""
+        interval = self.flow.advertise_interval_s
+        window = self.flow.upstream_window_s
+        while True:
+            yield self.sim.timeout(interval)
+            if self._detached or self._epoch != epoch:
+                return
+            now = self.sim.now
+            silent = [address for address, last in
+                      self._upstreams.items() if now - last > window]
+            for address in silent:
+                del self._upstreams[address]
+            if not self._upstreams:
+                continue
+            self._credit_seq += 1
+            advertisement = CreditAdvertisement(
+                service=self.service.name,
+                instance=str(self.service.address),
+                credits=self.credits(), seq=self._credit_seq,
+                sent_s=now)
+            for address in list(self._upstreams):
+                self._channel.notify(address, advertisement,
+                                     CREDIT_WIRE_BYTES)
+
+    # ------------------------------------------------------------------
+    def _serve(self, payload):
         """gRPC handler: run the wrapped service's stage logic."""
+        if isinstance(payload, FrameBatch):
+            yield from self._serve_batch(payload.records)
+            return True
+        record = payload
         yield self.sim.timeout(RPC_OVERHEAD_S)
         start = self.sim.now
         self.service._busy = True
@@ -232,24 +410,49 @@ class Sidecar:
                     start_s=start, end_s=self.sim.now)
         return True
 
+    def _serve_batch(self, records: List[FrameRecord]):
+        """Serve one batched round: one RPC overhead, one batch pass."""
+        yield self.sim.timeout(RPC_OVERHEAD_S)
+        start = self.sim.now
+        self.service._busy = True
+        try:
+            yield from self.service.process_batch(records)
+            self.service.stats.processed += len(records)
+        finally:
+            self.service._busy = False
+            tracer = self.service.tracer
+            if tracer is not None:
+                for record in records:
+                    tracer.record_span(
+                        record.key, record.created_s,
+                        name=self.service.name, kind="service",
+                        instance=str(self.service.address),
+                        start_s=start, end_s=self.sim.now)
+
 
 def sidecar_wrap(base_class: Type[StreamService],
                  *, threshold_s: float = 0.100,
                  queue_capacity: int = 256,
-                 discipline: str = "fifo") -> Type[StreamService]:
+                 discipline: str = "fifo",
+                 flow: Optional[FlowConfig] = None) -> Type[StreamService]:
     """Build a sidecar-fronted variant of ``base_class``.
 
     The generated class replaces busy-drop ingress with sidecar
     queueing while reusing the stage's ``process`` logic unchanged.
+    ``flow`` (optional) threads one flow-control config through both
+    the sidecar (admission, batching, credit advertisement) and the
+    service itself (credit-aware downstream sends).
     """
 
     class SidecarService(base_class):  # type: ignore[misc, valid-type]
 
         def __init__(self, **kwargs):
             super().__init__(**kwargs)
+            self.flow = flow
             self.sidecar = Sidecar(self, threshold_s=threshold_s,
                                    queue_capacity=queue_capacity,
-                                   discipline=discipline)
+                                   discipline=discipline,
+                                   flow=flow)
 
         def start(self) -> None:
             super().start()
@@ -268,6 +471,9 @@ def sidecar_wrap(base_class: Type[StreamService],
             if isinstance(record, HealthProbe):
                 self._on_health_probe(record)
                 return
+            if isinstance(record, CreditAdvertisement):
+                self.on_credit(record)
+                return
             if not isinstance(record, FrameRecord):
                 return
             if self.is_control(record):
@@ -275,7 +481,7 @@ def sidecar_wrap(base_class: Type[StreamService],
                 return
             self.stats.received += 1
             self.stats.arrival_times_s.append(self.sim.now)
-            self.sidecar.enqueue(record)
+            self.sidecar.enqueue(record, source=datagram.src)
 
         def _work(self, record):  # pragma: no cover - never used
             raise RuntimeError(

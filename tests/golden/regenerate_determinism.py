@@ -23,24 +23,33 @@ from repro.experiments.campaign import run_campaign  # noqa: E402
 
 from tests.test_determinism import (  # noqa: E402
     CONTRACT_CAMPAIGN,
+    FLOW_CAMPAIGN,
+    FLOW_GOLDEN_PATH,
     GOLDEN_PATH,
     _digest_map,
 )
 
 
-def main() -> int:
-    first = _digest_map(run_campaign(CONTRACT_CAMPAIGN))
-    second = _digest_map(run_campaign(CONTRACT_CAMPAIGN))
+def _regenerate(campaign, path) -> bool:
+    first = _digest_map(run_campaign(campaign))
+    second = _digest_map(run_campaign(campaign))
     if first != second:
-        print("FATAL: two back-to-back runs disagree — the kernel is "
-              "nondeterministic; fix that before regenerating.")
-        return 1
-    GOLDEN_PATH.write_text(json.dumps(
-        {"campaign": CONTRACT_CAMPAIGN.name,
-         "duration_s": CONTRACT_CAMPAIGN.duration_s,
+        print(f"FATAL: two back-to-back runs of {campaign.name} "
+              "disagree — the kernel is nondeterministic; fix that "
+              "before regenerating.")
+        return False
+    path.write_text(json.dumps(
+        {"campaign": campaign.name,
+         "duration_s": campaign.duration_s,
          "digests": first}, indent=2, sort_keys=True) + "\n")
-    print(f"wrote {len(first)} digests to {GOLDEN_PATH}")
-    return 0
+    print(f"wrote {len(first)} digests to {path}")
+    return True
+
+
+def main() -> int:
+    ok = _regenerate(CONTRACT_CAMPAIGN, GOLDEN_PATH)
+    ok = _regenerate(FLOW_CAMPAIGN, FLOW_GOLDEN_PATH) and ok
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":

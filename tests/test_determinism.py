@@ -29,11 +29,20 @@ from repro.experiments.campaign import Campaign, run_campaign
 
 GOLDEN_PATH = (pathlib.Path(__file__).parent / "golden"
                / "determinism_digests.json")
+FLOW_GOLDEN_PATH = (pathlib.Path(__file__).parent / "golden"
+                    / "flow_digests.json")
 
 #: The contract campaign: both pipelines, two cells each, two seeds —
 #: small enough for tier-1, broad enough to cover the sidecar path.
 CONTRACT_CAMPAIGN = Campaign(
     name="determinism", pipelines=("scatter", "scatterpp"),
+    placements=("C1",), client_counts=(1, 2), duration_s=2.0,
+    seeds=(0, 1))
+
+#: The flow-on contract cells: the full substrate (admission +
+#: batching + credits + pacing) walks its *own* pinned trajectory.
+FLOW_CAMPAIGN = Campaign(
+    name="determinism-flow", pipelines=("scatterpp-flow",),
     placements=("C1",), client_counts=(1, 2), duration_s=2.0,
     seeds=(0, 1))
 
@@ -107,3 +116,54 @@ def test_digests_match_committed_golden_file(serial_report):
         "is intentional, regenerate the golden file with "
         "`python tests/golden/regenerate_determinism.py` and commit "
         "it; otherwise the determinism contract has been broken.")
+
+
+# ----------------------------------------------------------------------
+# Flow-control substrate vs the contract
+# ----------------------------------------------------------------------
+def test_neutral_flow_config_matches_flow_none_bit_for_bit():
+    """Every mechanism off == no flow config at all.
+
+    The substrate's off-switches (admission ``always`` → no policy
+    object, ``batch_max=1`` → bare-record dispatch, credits off → no
+    advertiser process, pacing off → no pacer) must leave the event
+    trajectory untouched, not merely the metrics.
+    """
+    from repro.experiments.runner import run_scatterpp_experiment
+    from repro.flow import neutral_flow_config
+    from repro.scatter.config import baseline_configs
+
+    placement = baseline_configs()["C1"]
+    base = run_scatterpp_experiment(placement, num_clients=2,
+                                    duration_s=2.0, seed=0)
+    neutral = run_scatterpp_experiment(placement, num_clients=2,
+                                       duration_s=2.0, seed=0,
+                                       flow=neutral_flow_config())
+    assert neutral.trace_digest == base.trace_digest
+    assert [c.received for c in neutral.clients] == \
+        [c.received for c in base.clients]
+
+
+@pytest.fixture(scope="module")
+def flow_report():
+    report = run_campaign(FLOW_CAMPAIGN)
+    assert not report.failures
+    return report
+
+
+def test_flow_on_digests_match_committed_golden_file(flow_report):
+    golden = json.loads(FLOW_GOLDEN_PATH.read_text())
+    assert _digest_map(flow_report) == golden["digests"], (
+        "Flow-on trace digests drifted from tests/golden/"
+        "flow_digests.json.  If this change to the flow substrate is "
+        "intentional, regenerate with `python tests/golden/"
+        "regenerate_determinism.py` and commit it; otherwise the "
+        "substrate's determinism has been broken.")
+
+
+def test_flow_on_walks_a_different_trajectory(flow_report,
+                                              serial_report):
+    """Flow on really engages: its digests differ from flow off."""
+    flow_digests = set(_digest_map(flow_report).values())
+    base_digests = set(_digest_map(serial_report).values())
+    assert not flow_digests & base_digests

@@ -152,3 +152,41 @@ def test_ramp_validation():
     with pytest.raises(ValueError):
         run_ramp_experiment(uniform_config("E1", "e1"), max_clients=1,
                             stage_s=0.0)
+
+
+def test_admission_rejections_surface_in_analytics():
+    """Shed load is visible as reject_ratio, not hidden in drop_ratio.
+
+    A tight per-client admission bucket at every sidecar rejects a
+    chunk of the 30 FPS offered load; the analytics rows must report
+    it in the dedicated ``reject_ratio`` column while ``drop_ratio``
+    keeps its queue-exit meaning.
+    """
+    from repro.flow import default_flow_config
+
+    flow = default_flow_config().with_overrides(
+        admission="token-bucket", admission_rate_fps=10.0,
+        admission_burst=2, batch_max=1, credits=False,
+        client_pacing=False)
+    result = run_scatterpp_experiment(
+        baseline_configs()["C1"], num_clients=2, duration_s=8.0,
+        flow=flow)
+    primary = result.pipeline.instances("primary")[0]
+    stats = primary.sidecar.stats
+    assert stats.rejected > 0
+    assert 0.0 < stats.reject_ratio() < 1.0
+    # Rejected frames never entered the queue, so they must not count
+    # as queue exits.
+    assert stats.reject_ratio() > stats.drop_ratio()
+    assert result.analytics.mean("primary", "reject_ratio") > 0.0
+    # The rows still expose credits (zero here: credits are off, the
+    # column reports the sidecar's instantaneous headroom regardless).
+    rows = [row for row in result.analytics.rows
+            if row.service == "primary"]
+    assert rows and all(row.credits >= 0 for row in rows)
+
+
+def test_analytics_reject_ratio_zero_without_flow(pp_four):
+    assert pp_four.analytics.mean("primary", "reject_ratio") == 0.0
+    assert all(row.reject_ratio == 0.0
+               for row in pp_four.analytics.rows)
