@@ -1,0 +1,193 @@
+"""Event-kernel hot-path benchmark: optimized kernel vs reference twin.
+
+Two arms, both anchored to :mod:`repro.sim.reference` (the verbatim
+pre-optimization kernel, kept as an executable baseline):
+
+* **Kernel microbench** — a mixed process workload (plain timeouts,
+  ``AnyOf``/``AllOf`` composites, process churn; the event mix a real
+  campaign cell produces) replayed through both kernels in one
+  process, best-of-N wall clock.  Gated: the optimized kernel must
+  clear ``MIN_KERNEL_SPEEDUP`` in events/sec.
+* **End-to-end campaign cell** — a full scAtteR++ experiment cell run
+  in subprocesses, one per kernel.  The baseline child installs
+  ``sys.modules["repro.sim.kernel"] = repro.sim.reference`` *before*
+  importing the stack, so every module — sockets, stores, sidecars —
+  binds the reference classes; there is no cross-kernel object mixing.
+  Gated: ``MIN_E2E_SPEEDUP`` on wall clock.
+
+Both arms double as equivalence witnesses: they assert the two
+kernels execute the same number of events and produce byte-identical
+trace fingerprints before any throughput number is trusted.  A
+speedup claimed over a divergent trajectory would be meaningless.
+
+Results land in ``benchmarks/results/BENCH_sim_hotpath.json``.
+
+``SIM_HOTPATH_SMOKE=1`` shrinks both arms for CI; the smoke run still
+exercises both kernels and the fingerprint-equality assertions, but
+only gates against gross regressions (the wall-clock ratios on a
+seconds-long CI slice are too noisy to hold the full bars).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+import time
+
+from repro.sim import kernel as optimized
+from repro.sim import reference
+
+from benchmarks.conftest import RESULTS_DIR
+
+SMOKE = os.environ.get("SIM_HOTPATH_SMOKE") == "1"
+
+SRC_DIR = str(pathlib.Path(__file__).resolve().parents[1] / "src")
+
+# --- kernel microbench shape -----------------------------------------
+PROCS = 40 if SMOKE else 150
+STEPS = 60 if SMOKE else 200
+REPEATS = 3 if SMOKE else 7
+MIN_KERNEL_SPEEDUP = 1.05 if SMOKE else 1.5
+
+# --- end-to-end campaign-cell shape ----------------------------------
+E2E_DURATION_S = 2.0 if SMOKE else 6.0
+E2E_REPEATS = 2 if SMOKE else 3
+MIN_E2E_SPEEDUP = 0.85 if SMOKE else 1.15
+
+
+def _ticker(mod, sim, idx):
+    """One service-like process: mostly plain delays, periodically a
+    race (``AnyOf``) or a join (``AllOf``) — the same composite mix
+    the scatter/scAtteR++ services schedule."""
+    for step in range(STEPS):
+        if step % 7 == 3:
+            yield mod.AnyOf(sim, [
+                sim.timeout(0.001 * ((idx + step) % 5 + 1)),
+                sim.timeout(0.002)])
+        elif step % 11 == 5:
+            yield mod.AllOf(sim, [sim.timeout(0.001),
+                                  sim.timeout(0.0015)])
+        else:
+            yield sim.timeout(0.001 * ((idx * 31 + step) % 9 + 1))
+
+
+def _run_kernel_arm(mod):
+    """Best-of-N wall clock for the microbench on one kernel module."""
+    best = None
+    fingerprint = None
+    events = 0
+    for _ in range(REPEATS):
+        sim = mod.Simulator()
+        for idx in range(PROCS):
+            sim.spawn(_ticker(mod, sim, idx), name=f"ticker-{idx}")
+        started = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - started
+        fingerprint = sim.fingerprint()
+        events = sim.digest.events
+        if best is None or elapsed < best:
+            best = elapsed
+    return {"best_s": best, "events": events,
+            "events_per_s": events / best, "fingerprint": fingerprint}
+
+
+#: The end-to-end child.  ``argv``: kernel name, duration, repeats.
+#: The reference child swaps the kernel module in ``sys.modules``
+#: before anything else imports it, then shims the runner's
+#: ``Simulator`` reference (the reference constructor predates the
+#: ``profile`` keyword).
+_E2E_CHILD = r"""
+import json, sys, time
+swap = sys.argv[1] == "reference"
+if swap:
+    import repro.sim.reference as reference
+    sys.modules["repro.sim.kernel"] = reference
+from repro.scatter.config import baseline_configs
+import repro.experiments.runner as runner
+if swap:
+    _Ref = reference.Simulator
+    runner.Simulator = \
+        lambda digest=True, profile=False: _Ref(digest=digest)
+duration = float(sys.argv[2])
+repeats = int(sys.argv[3])
+placement = baseline_configs()["C1"]
+best = None
+digest = None
+for _ in range(repeats):
+    started = time.perf_counter()
+    result = runner.run_scatterpp_experiment(
+        placement, num_clients=2, duration_s=duration, seed=0)
+    elapsed = time.perf_counter() - started
+    if best is None or elapsed < best:
+        best = elapsed
+    digest = result.trace_digest
+print(json.dumps({"wall_s": best, "digest": digest}))
+"""
+
+
+def _run_e2e_arm(kernel_name):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _E2E_CHILD, kernel_name,
+         str(E2E_DURATION_S), str(E2E_REPEATS)],
+        capture_output=True, text=True, env=env, check=True)
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_kernel_and_campaign_cell_speedups(save_result):
+    # Kernel microbench: interleave the arms so clock drift cannot
+    # systematically favour one kernel.
+    ref = _run_kernel_arm(reference)
+    opt = _run_kernel_arm(optimized)
+
+    # Equivalence before speed: same events, same trajectory, bit for
+    # bit.  (blake2b is a stream hash, so the optimized kernel's
+    # chunked digest folds the identical byte stream.)
+    assert opt["events"] == ref["events"]
+    assert opt["fingerprint"] == ref["fingerprint"]
+
+    kernel_speedup = opt["events_per_s"] / ref["events_per_s"]
+
+    # End-to-end: one full scAtteR++ cell per kernel, subprocesses.
+    e2e_ref = _run_e2e_arm("reference")
+    e2e_opt = _run_e2e_arm("optimized")
+    assert e2e_opt["digest"] == e2e_ref["digest"], (
+        "cross-kernel trace digests diverged on a real campaign cell")
+    e2e_speedup = e2e_ref["wall_s"] / e2e_opt["wall_s"]
+
+    entry = {
+        "smoke": SMOKE,
+        "kernel": {
+            "procs": PROCS, "steps": STEPS, "repeats": REPEATS,
+            "events": opt["events"],
+            "reference_best_s": round(ref["best_s"], 6),
+            "optimized_best_s": round(opt["best_s"], 6),
+            "reference_events_per_s": round(ref["events_per_s"]),
+            "optimized_events_per_s": round(opt["events_per_s"]),
+            "speedup": round(kernel_speedup, 3),
+            "min_speedup": MIN_KERNEL_SPEEDUP,
+            "fingerprints_equal": True,
+        },
+        "campaign_cell": {
+            "pipeline": "scatterpp", "placement": "C1",
+            "clients": 2, "duration_s": E2E_DURATION_S,
+            "repeats": E2E_REPEATS,
+            "reference_wall_s": round(e2e_ref["wall_s"], 6),
+            "optimized_wall_s": round(e2e_opt["wall_s"], 6),
+            "speedup": round(e2e_speedup, 3),
+            "min_speedup": MIN_E2E_SPEEDUP,
+            "digests_equal": True,
+        },
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_sim_hotpath.json").write_text(
+        json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    save_result("sim_hotpath",
+                json.dumps(entry, indent=2, sort_keys=True))
+
+    assert kernel_speedup >= MIN_KERNEL_SPEEDUP, entry
+    assert e2e_speedup >= MIN_E2E_SPEEDUP, entry

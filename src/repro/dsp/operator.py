@@ -183,27 +183,32 @@ class StreamService:
     # Ingress
     # ------------------------------------------------------------------
     def _on_delivery(self, datagram: Datagram) -> None:
+        # Frames dominate ingress traffic by orders of magnitude, so
+        # test for them first; probes/credits are control-plane rare.
+        # The payload types are disjoint, so the reorder cannot change
+        # which branch a packet takes.
         record = datagram.payload
+        if isinstance(record, FrameRecord):
+            if self.is_control(record):
+                self.on_control(record)
+                return
+            stats = self.stats
+            stats.received += 1
+            stats.arrival_times_s.append(self.sim.now)
+            if self._busy:
+                stats.dropped_busy += 1
+                self.on_dropped(record)
+                return
+            self._busy = True
+            self.sim.spawn(self._work(record),
+                           name=f"{self.name}@{self.address}")
+            return
         if isinstance(record, HealthProbe):
             self._on_health_probe(record)
             return
         if isinstance(record, CreditAdvertisement):
             self.on_credit(record)
-            return
-        if not isinstance(record, FrameRecord):
-            return  # stray packet: UDP silently discards
-        if self.is_control(record):
-            self.on_control(record)
-            return
-        self.stats.received += 1
-        self.stats.arrival_times_s.append(self.sim.now)
-        if self._busy:
-            self.stats.dropped_busy += 1
-            self.on_dropped(record)
-            return
-        self._busy = True
-        self.sim.spawn(self._work(record),
-                       name=f"{self.name}@{self.address}")
+        # anything else is a stray packet: UDP silently discards
 
     def _work(self, record: FrameRecord):
         start = self.sim.now

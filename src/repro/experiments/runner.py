@@ -64,6 +64,11 @@ class ExperimentResult:
     #: (from :class:`repro.metrics.profiling.StageProfiler`); empty
     #: profiles are reported as None.
     kernel_profile: Optional[dict] = None
+    #: Per-event-kind counts and wall time from the simulator loop
+    #: (from :class:`repro.metrics.profiling.EventProfile`); present
+    #: only when the run was started with ``profile=True``.  Real
+    #: wall-clock accounting only — never part of the digest contract.
+    event_profile: Optional[dict] = None
     #: Flow-control summary — the active config plus per-service frame
     #: conservation ledgers; present only when the run had a flow
     #: config attached.
@@ -172,12 +177,21 @@ class _ComputeScope:
                 for name, record in delta.items()}
 
 
+def _event_profile(sim) -> Optional[dict]:
+    """JSON-ready event-kind profile, or ``None`` when not profiled."""
+    profile = getattr(sim, "profile", None)
+    if profile is None or not profile.events:
+        return None
+    return profile.as_dict()
+
+
 def _build(placement: PlacementConfig, num_clients: int, seed: int,
            client_netem: Optional[Netem],
            pipeline_kwargs: Optional[dict],
            resilience: Optional[ResilienceConfig] = None,
-           watchdog: bool = True, flow=None) -> tuple:
-    sim = Simulator()
+           watchdog: bool = True, flow=None,
+           profile: bool = False) -> tuple:
+    sim = Simulator(profile=profile)
     rng = RngRegistry(seed)
     testbed = build_paper_testbed(sim, rng, num_clients=num_clients)
     if client_netem is not None:
@@ -251,11 +265,18 @@ def run_scatter_experiment(
         duration_s: float = DEFAULT_DURATION_S, seed: int = 0,
         client_netem: Optional[Netem] = None,
         pipeline_kwargs: Optional[dict] = None,
-        tracing: bool = False) -> ExperimentResult:
-    """Deploy scAtteR per ``placement`` and run ``num_clients``."""
+        tracing: bool = False,
+        profile: bool = False) -> ExperimentResult:
+    """Deploy scAtteR per ``placement`` and run ``num_clients``.
+
+    ``profile=True`` turns on the kernel's per-event-kind wall-time
+    profiler (``ExperimentResult.event_profile``); the default keeps
+    the event loop clock-free and is provably trajectory-neutral.
+    """
     scope = _ComputeScope()
     sim, testbed, orchestrator, pipeline, clients = _build(
-        placement, num_clients, seed, client_netem, pipeline_kwargs)
+        placement, num_clients, seed, client_netem, pipeline_kwargs,
+        profile=profile)
     tracer = _attach_tracer(orchestrator, clients) if tracing else None
     for client in clients:
         client.start(duration_s)
@@ -267,7 +288,8 @@ def run_scatter_experiment(
         monitor=orchestrator.monitor, testbed=testbed, tracer=tracer,
         trace_digest=sim.fingerprint(),
         feature_cache=scope.cache_delta(),
-        kernel_profile=scope.profile_delta())
+        kernel_profile=scope.profile_delta(),
+        event_profile=_event_profile(sim))
 
 
 def run_scatterpp_experiment(
@@ -278,7 +300,8 @@ def run_scatterpp_experiment(
         stateless_sift: bool = True,
         with_sidecars: bool = True,
         flow=None,
-        tracing: bool = False) -> ExperimentResult:
+        tracing: bool = False,
+        profile: bool = False) -> ExperimentResult:
     """Deploy scAtteR++ (stateless sift + sidecars) and run clients.
 
     ``stateless_sift`` / ``with_sidecars`` exist for the component
@@ -295,7 +318,8 @@ def run_scatterpp_experiment(
         with_sidecars=with_sidecars, flow=flow)
     scope = _ComputeScope()
     sim, testbed, orchestrator, pipeline, clients = _build(
-        placement, num_clients, seed, client_netem, kwargs, flow=flow)
+        placement, num_clients, seed, client_netem, kwargs, flow=flow,
+        profile=profile)
     analytics = None
     if with_sidecars:
         analytics = SidecarAnalytics(sim)
@@ -315,6 +339,7 @@ def run_scatterpp_experiment(
         trace_digest=sim.fingerprint(),
         feature_cache=scope.cache_delta(),
         kernel_profile=scope.profile_delta(),
+        event_profile=_event_profile(sim),
         flow=flow_summary(pipeline, clients, flow))
 
 
@@ -323,7 +348,8 @@ def run_scatterpp_flow_experiment(
         duration_s: float = DEFAULT_DURATION_S, seed: int = 0,
         client_netem: Optional[Netem] = None,
         threshold_s: Optional[float] = None,
-        tracing: bool = False) -> ExperimentResult:
+        tracing: bool = False,
+        profile: bool = False) -> ExperimentResult:
     """scAtteR++ with the default flow substrate engaged.
 
     The campaign-facing variant (registered as ``scatterpp-flow``):
@@ -335,7 +361,7 @@ def run_scatterpp_flow_experiment(
     return run_scatterpp_experiment(
         placement, num_clients=num_clients, duration_s=duration_s,
         seed=seed, client_netem=client_netem, threshold_s=threshold_s,
-        flow=default_flow_config(), tracing=tracing)
+        flow=default_flow_config(), tracing=tracing, profile=profile)
 
 
 def run_ramp_experiment(

@@ -17,9 +17,13 @@ from repro.sim.kernel import Waitable
 from repro.sim.resources import Store
 
 
-@dataclass
+@dataclass(slots=True)
 class Datagram:
-    """A received packet: payload plus addressing metadata."""
+    """A received packet: payload plus addressing metadata.
+
+    Slotted: one is allocated per send on the hot path, and the slot
+    layout keeps that allocation (and attribute access) cheap.
+    """
 
     payload: object
     size_bytes: int
@@ -31,7 +35,7 @@ class Datagram:
 HEALTH_WIRE_BYTES = 128
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HealthProbe:
     """Control-plane liveness probe sent by the failure detector.
 
@@ -46,7 +50,7 @@ class HealthProbe:
     sent_s: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HealthAck:
     """A service instance's reply to a :class:`HealthProbe`."""
 

@@ -78,35 +78,46 @@ class Link:
         Returns the one-way delivery delay in seconds, or ``None`` if
         the packet was lost (link loss or netem loss).
         """
-        self.stats.packets_sent += 1
+        stats = self.stats
+        netem = self.netem
+        stats.packets_sent += 1
 
         # Per-fragment loss: an application frame of ``size_bytes``
         # rides ceil(size/MTU) UDP fragments, and one lost fragment
         # loses the frame.  This is why sub-percent packet loss visibly
         # dents the frame success rate of a 180 KB-per-frame stream.
-        fragments = max(1, -(-size_bytes // self.MTU_BYTES))
+        # The fragment math runs only on lossy links — the RNG draw
+        # sequence (one draw per packet iff loss is possible) is
+        # unchanged.
         per_fragment_loss = self.loss
-        if self.netem is not None and self.netem.loss > 0.0:
+        if netem is not None and netem.loss > 0.0:
             per_fragment_loss = 1.0 - ((1.0 - per_fragment_loss)
-                                       * (1.0 - self.netem.loss))
+                                       * (1.0 - netem.loss))
         if per_fragment_loss > 0.0:
+            fragments = max(1, -(-size_bytes // self.MTU_BYTES))
             frame_loss = 1.0 - (1.0 - per_fragment_loss) ** fragments
             if self.rng.random() < frame_loss:
-                self.stats.packets_dropped += 1
+                stats.packets_dropped += 1
                 return None
 
+        # NB: the serialization expression must stay ``(bytes * 8) /
+        # bandwidth`` verbatim — precomputing a reciprocal changes the
+        # result in the last ulp, which shifts event times and breaks
+        # the golden digests.
+        now = self.sim.now
         serialization = (size_bytes * 8.0) / self.bandwidth_bps
-        start = max(self.sim.now, self._busy_until)
+        busy_until = self._busy_until
+        start = now if now >= busy_until else busy_until
         self._busy_until = start + serialization
-        queue_wait = start - self.sim.now
-        self.stats.busy_time += serialization
-        self.stats.bytes_sent += size_bytes
+        queue_wait = start - now
+        stats.busy_time += serialization
+        stats.bytes_sent += size_bytes
 
         delay = queue_wait + serialization + self.latency_s
         if self.jitter_s > 0.0:
             delay += abs(float(self.rng.normal(0.0, self.jitter_s)))
-        if self.netem is not None:
-            delay += self.netem.extra_delay(self.rng)
+        if netem is not None:
+            delay += netem.extra_delay(self.rng)
         return delay
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -30,7 +30,7 @@ class RpcTimeoutError(RuntimeError):
     """Raised inside callers when an RPC exhausts its attempts."""
 
 
-@dataclass
+@dataclass(slots=True)
 class _RpcEnvelope:
     request: object
     size_bytes: int
@@ -147,8 +147,10 @@ def reliable_path_delay(network: Network, src: str, dst: str,
         return 0.0
     path = network.route(src, dst)
     total = 0.0
-    for a, b in zip(path, path[1:]):
-        link = network.link(a, b)
+    # Indexed walk: no ``path[1:]`` slice allocation per call (this
+    # runs once per RPC and once per reliable-transport send).
+    for hop in range(len(path) - 1):
+        link = network.link(path[hop], path[hop + 1])
         for attempt in range(MAX_ATTEMPTS):
             delay = link.transmit(size_bytes)
             if delay is not None:

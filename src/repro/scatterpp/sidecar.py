@@ -219,24 +219,27 @@ class Sidecar:
         on it joins the advertiser's audience.  Returns whether the
         frame entered the queue.
         """
+        stats = self.stats
         if self._detached:
-            self.stats.dropped_detach += 1
-            self.stats.detach_refused += 1
+            stats.dropped_detach += 1
+            stats.detach_refused += 1
             return False
-        if (source is not None and self.flow is not None
-                and self.flow.credits):
-            self._upstreams[source] = self.sim.now
+        now = self.sim.now
+        flow = self.flow
+        entries = self._entries
+        if source is not None and flow is not None and flow.credits:
+            self._upstreams[source] = now
         if self.admission is not None and not self.admission.admit(
-                client_id=record.client_id, now=self.sim.now,
-                depth=len(self._entries), target_depth=self._window):
-            self.stats.rejected += 1
+                client_id=record.client_id, now=now,
+                depth=len(entries), target_depth=self._window):
+            stats.rejected += 1
             return False
-        if len(self._entries) >= self.queue_capacity:
-            self.stats.dropped_overflow += 1
+        if len(entries) >= self.queue_capacity:
+            stats.dropped_overflow += 1
             return False
-        self._entries.append((record, self.sim.now))
+        entries.append((record, now))
         self.queue.put_nowait(True)  # wake the dispatcher
-        self.stats.enqueued += 1
+        stats.enqueued += 1
         # Queued frames occupy service memory until dispatched.
         self.service.container.allocate_state(record.size_bytes)
         return True
@@ -467,21 +470,23 @@ def sidecar_wrap(base_class: Type[StreamService],
             super().crash()
 
         def _on_delivery(self, datagram: Datagram) -> None:
+            # Frame-first dispatch, mirroring StreamService: frames
+            # dominate ingress and the payload types are disjoint.
             record = datagram.payload
+            if isinstance(record, FrameRecord):
+                if self.is_control(record):
+                    self.on_control(record)
+                    return
+                stats = self.stats
+                stats.received += 1
+                stats.arrival_times_s.append(self.sim.now)
+                self.sidecar.enqueue(record, source=datagram.src)
+                return
             if isinstance(record, HealthProbe):
                 self._on_health_probe(record)
                 return
             if isinstance(record, CreditAdvertisement):
                 self.on_credit(record)
-                return
-            if not isinstance(record, FrameRecord):
-                return
-            if self.is_control(record):
-                self.on_control(record)
-                return
-            self.stats.received += 1
-            self.stats.arrival_times_s.append(self.sim.now)
-            self.sidecar.enqueue(record, source=datagram.src)
 
         def _work(self, record):  # pragma: no cover - never used
             raise RuntimeError(

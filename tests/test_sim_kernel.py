@@ -1,5 +1,6 @@
 """Unit tests for the discrete-event kernel."""
 
+import functools
 import random
 
 import pytest
@@ -13,6 +14,9 @@ from repro.sim import (
     SimulationError,
     Timeout,
 )
+from repro.sim import kernel as kernel_mod
+from repro.sim import reference as reference_mod
+from repro.sim.kernel import TraceDigest, _event_kind
 
 
 def test_empty_run_returns_zero():
@@ -331,9 +335,16 @@ def test_trace_digest_can_be_disabled():
 # (every process terminates — each waitable is bounded by a timeout or
 # a firer).
 
-def _random_program(seed):
-    """Build and run one random program; return (log, fingerprint)."""
-    sim = Simulator()
+def _random_program(seed, mod=kernel_mod):
+    """Build and run one random program; return (log, fingerprint).
+
+    ``mod`` selects the kernel implementation (:mod:`repro.sim.kernel`
+    or its pre-optimization twin :mod:`repro.sim.reference`); the
+    program itself only touches ``Simulator`` methods, so the same
+    seed replays the identical program on either kernel.
+    """
+    sim = mod.Simulator()
+    interrupt_cls = mod.Interrupt
     rng = random.Random(seed)
     log = []
     signals = [sim.signal() for __ in range(rng.randint(1, 3))]
@@ -361,7 +372,7 @@ def _random_program(seed):
                 else:
                     value = yield sim.timeout(
                         rng.randrange(50, 400) / 100.0)
-            except Interrupt as interrupt:
+            except interrupt_cls as interrupt:
                 log.append((round(sim.now, 9), pid, step,
                             "interrupted", str(interrupt.cause)))
                 continue
@@ -423,3 +434,367 @@ def test_random_programs_log_in_time_order(seed):
     log, __ = _random_program(seed)
     times = [entry[0] for entry in log]
     assert times == sorted(times)
+
+
+@PROPERTY
+@given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+def test_random_programs_match_reference_kernel_bit_for_bit(seed):
+    """The optimized kernel and its pre-optimization twin walk the
+    identical trajectory: same completion log, same fingerprint."""
+    opt_log, opt_digest = _random_program(seed, mod=kernel_mod)
+    ref_log, ref_digest = _random_program(seed, mod=reference_mod)
+    assert opt_log == ref_log
+    assert opt_digest == ref_digest
+
+
+# ----------------------------------------------------------------------
+# Buffered digest vs reference byte stream
+# ----------------------------------------------------------------------
+def test_buffered_digest_matches_reference_on_random_streams():
+    """Chunked blake2b folding hashes the identical byte stream.
+
+    Streams long enough to cross several flush boundaries, with kinds
+    spanning short/long/non-ASCII strings, and mid-stream hexdigest
+    probes (which force partial flushes at arbitrary offsets)."""
+    rng = random.Random(20260807)
+    buffered = TraceDigest()
+    reference = reference_mod.TraceDigest()
+    kinds = ["Timeout._expire", "Process._resume", "k",
+             "véry-unicode-✓-kind", "Q" * 500]
+    for seq in range(5000):
+        when = rng.random() * 1e4
+        kind = rng.choice(kinds)
+        buffered.record(when, seq, kind)
+        reference.record(when, seq, kind)
+        if rng.random() < 0.004:
+            assert buffered.hexdigest() == reference.hexdigest()
+    assert buffered.hexdigest() == reference.hexdigest()
+    assert buffered.events == reference.events == 5000
+
+
+def test_record_event_agrees_with_record_for_every_callback_shape():
+    """The memoized ``record_event`` and the string-keyed ``record``
+    digest identically across the callback zoo the kernel schedules."""
+    class Carrier:
+        def method(self):
+            pass
+
+        def __call__(self):
+            pass
+
+    def plain():
+        pass
+
+    callbacks = [Carrier().method, Carrier().method, Carrier(), plain,
+                 lambda: None, len, print, functools.partial(plain),
+                 Carrier.method]
+    by_event = TraceDigest()
+    by_kind = TraceDigest()
+    for seq, callback in enumerate(callbacks * 7):
+        by_event.record_event(0.25 * seq, seq, callback)
+        by_kind.record(0.25 * seq, seq, _event_kind(callback))
+    assert by_event.hexdigest() == by_kind.hexdigest()
+    assert by_event.events == by_kind.events
+
+
+# ----------------------------------------------------------------------
+# Pre-fired composite children
+# ----------------------------------------------------------------------
+def test_any_of_with_prefired_child_wins_immediately():
+    sim = Simulator()
+    early = sim.signal()
+    early.fire("early")
+    got = []
+
+    def waiter():
+        winner, value = yield sim.any_of([early, sim.timeout(5.0)])
+        got.append((sim.now, value, winner is early))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [(0.0, "early", True)]
+
+
+def test_all_of_with_prefired_child_still_waits_for_the_rest():
+    sim = Simulator()
+    first = sim.signal()
+    first.fire("a")
+    got = []
+
+    def waiter():
+        values = yield sim.all_of([first, sim.timeout(1.0, "b")])
+        got.append((sim.now, values))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [(1.0, ["a", "b"])]
+
+
+def test_all_of_empty_fires_with_empty_list():
+    sim = Simulator()
+    got = []
+
+    def waiter():
+        values = yield sim.all_of([])
+        got.append((sim.now, values))
+
+    sim.spawn(waiter())
+    sim.run()
+    assert got == [(0.0, [])]
+
+
+# ----------------------------------------------------------------------
+# Interrupts racing fires
+# ----------------------------------------------------------------------
+def test_interrupt_racing_fire_at_same_instant_delivers_interrupt():
+    """Interrupt and timeout expiry land on the same instant; the
+    interrupt discards the waiter (tombstone) before the expiry runs,
+    so the expiry wakes nobody and the interrupt is what arrives."""
+    sim = Simulator()
+    trace = []
+
+    def sleeper():
+        try:
+            yield sim.timeout(1.0)
+            trace.append("timeout")
+        except Interrupt as interrupt:
+            trace.append(("interrupted", sim.now, interrupt.cause))
+
+    proc = sim.spawn(sleeper())
+    sim.schedule(1.0, proc.interrupt, "race")
+    sim.run()
+    assert trace == [("interrupted", 1.0, "race")]
+
+
+def test_self_interrupt_during_execution_is_delivered_at_next_yield():
+    """An interrupt raced in while the generator was executing (here:
+    the process interrupts itself) pre-empts the wait it just set up."""
+    sim = Simulator()
+    trace = []
+    holder = []
+
+    def body():
+        yield sim.timeout(1.0)
+        holder[0].interrupt("self")
+        try:
+            yield sim.timeout(10.0)
+        except Interrupt as interrupt:
+            trace.append((sim.now, interrupt.cause))
+
+    holder.append(sim.spawn(body()))
+    sim.run()
+    assert trace == [(1.0, "self")]
+    # The abandoned 10 s timeout still expires (harmlessly) at t=11.
+    assert sim.now == 11.0
+
+
+# ----------------------------------------------------------------------
+# Tombstoned waiter discard
+# ----------------------------------------------------------------------
+def _block_on(sig, order, tag):
+    value = yield sig
+    order.append((tag, value))
+
+
+def test_discarded_waiters_leave_wake_order_untouched():
+    sim = Simulator()
+    sig = sim.signal()
+    order = []
+    procs = [sim.spawn(_block_on(sig, order, tag), name=f"w{tag}")
+             for tag in range(10)]
+    sim.run()  # everyone blocks on the signal
+    for tag in (2, 5, 7):
+        procs[tag].interrupt("drop")
+    sim.schedule(1.0, sig.fire, "go")
+    sim.run()
+    assert order == [(tag, "go") for tag in (0, 1, 3, 4, 6, 8, 9)]
+
+
+def test_heavily_tombstoned_waiter_list_compacts_and_wakes_in_order():
+    sim = Simulator()
+    sig = sim.signal()
+    order = []
+    procs = [sim.spawn(_block_on(sig, order, tag), name=f"w{tag}")
+             for tag in range(100)]
+    sim.run()
+    survivors = [tag for tag in range(100) if tag % 3 == 0]
+    for tag in range(100):
+        if tag % 3 != 0:
+            procs[tag].interrupt("drop")
+    # Two thirds discarded: the compaction threshold has tripped and
+    # shrunk the list.  (Discards after the last compaction may have
+    # left fresh tombstones; live entries must still self-index.)
+    assert len(sig._waiters) < 100
+    assert all(entry is None or sig._waiters[entry._wait_index] is entry
+               for entry in sig._waiters)
+    sim.schedule(1.0, sig.fire, "go")
+    sim.run()
+    assert order == [(tag, "go") for tag in survivors]
+
+
+# ----------------------------------------------------------------------
+# Non-Waitable yields: throw, catch-and-return, catch-and-rewait
+# ----------------------------------------------------------------------
+def test_non_waitable_yield_uncaught_propagates():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.spawn(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_non_waitable_yield_caught_and_return_fires_process():
+    """A generator that catches the misuse error and returns must fire
+    with its return value instead of leaking StopIteration into the
+    event loop."""
+    sim = Simulator()
+
+    def tolerant():
+        try:
+            yield 42
+        except SimulationError:
+            return "recovered"
+
+    proc = sim.spawn(tolerant())
+    sim.run()
+    assert proc.fired
+    assert proc.value == "recovered"
+
+
+def test_non_waitable_yield_caught_then_valid_wait_resumes():
+    sim = Simulator()
+
+    def tolerant():
+        try:
+            yield "nonsense"
+        except SimulationError:
+            value = yield sim.timeout(1.0, "ok")
+            return value
+
+    proc = sim.spawn(tolerant())
+    sim.run()
+    assert proc.value == "ok"
+    assert sim.now == 1.0
+
+
+def test_non_waitable_yield_repeated_misuse_throws_each_time():
+    sim = Simulator()
+
+    def stubborn():
+        try:
+            yield 1
+        except SimulationError:
+            try:
+                yield 2
+            except SimulationError:
+                return "twice"
+
+    proc = sim.spawn(stubborn())
+    sim.run()
+    assert proc.value == "twice"
+
+
+# ----------------------------------------------------------------------
+# Zero-delay ready lane vs the heap
+# ----------------------------------------------------------------------
+def test_zero_delay_events_merge_with_heap_events_in_seq_order():
+    """A same-instant heap event scheduled *before* a zero-delay event
+    must still run first: the two lanes merge on (when, seq)."""
+    sim = Simulator()
+    order = []
+
+    def at_one():
+        order.append("first")
+        sim.schedule(0.0, order.append, "zero-delay")
+
+    sim.schedule(1.0, at_one)
+    sim.schedule(1.0, order.append, "second")
+    sim.run()
+    assert order == ["first", "second", "zero-delay"]
+
+
+def test_callback_exception_preserves_pending_zero_delay_events():
+    """An exception escaping ``run()`` must not strand events pushed
+    onto the ready lane — a later run still executes them."""
+    sim = Simulator()
+    order = []
+
+    def boom():
+        sim.schedule(0.0, order.append, "after")
+        raise RuntimeError("boom")
+
+    sim.schedule(1.0, boom)
+    with pytest.raises(RuntimeError):
+        sim.run()
+    sim.run()
+    assert order == ["after"]
+
+
+def test_run_until_in_the_past_rewinds_clock_like_reference():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.now == 1.0
+    sim.schedule(5.0, lambda: None)
+    ref = reference_mod.Simulator()
+    ref.schedule(1.0, lambda: None)
+    ref.run()
+    ref.schedule(5.0, lambda: None)
+    assert sim.run(until=0.5) == ref.run(until=0.5) == 0.5
+
+
+# ----------------------------------------------------------------------
+# Event-kind profiler
+# ----------------------------------------------------------------------
+def _profiled_program(profile):
+    sim = Simulator(profile=profile)
+
+    def worker(idx):
+        for __ in range(5):
+            yield sim.timeout(0.5 + idx * 0.25)
+
+    for idx in range(4):
+        sim.spawn(worker(idx), name=f"worker-{idx}")
+    sim.run()
+    return sim
+
+
+def test_profiler_is_off_by_default():
+    sim = Simulator()
+    assert sim.profile is None
+
+
+def test_profiler_is_observationally_inert():
+    """profile=True reads clocks but schedules nothing: the trace
+    fingerprint is byte-identical with the profiler on and off."""
+    base = _profiled_program(False)
+    profiled = _profiled_program(True)
+    assert base.profile is None
+    assert profiled.profile is not None
+    assert profiled.fingerprint() == base.fingerprint()
+    assert profiled.profile.events == profiled.digest.events > 0
+
+
+def test_profiler_breaks_down_by_event_kind():
+    profiled = _profiled_program(True)
+    report = profiled.profile.as_dict()
+    kinds = report["kinds"]
+    assert "Timeout._expire" in kinds
+    assert "Process._resume" in kinds
+    assert report["events"] == sum(k["calls"] for k in kinds.values())
+    assert abs(sum(k["share"] for k in kinds.values()) - 1.0) < 1e-9
+    ranked = profiled.profile.top(2)
+    assert len(ranked) == 2
+    totals = [record.total_ms for record in ranked.values()]
+    assert totals == sorted(totals, reverse=True)
+
+
+def test_profiler_works_with_digest_disabled():
+    sim = Simulator(digest=False, profile=True)
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    assert sim.fingerprint() is None
+    assert sim.profile.events == 1
