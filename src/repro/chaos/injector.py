@@ -102,17 +102,39 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Individual fault kinds
     # ------------------------------------------------------------------
-    def _pick_victim(self, service: str, replica: int) -> StreamService:
+    def _pick_victim(self, service: str,
+                     replica: int) -> Optional[StreamService]:
+        """A live replica to fault, or ``None`` when there is none.
+
+        Mid-migration/mid-handover a replica can be *deregistered but
+        not stopped* (draining) or already retired from the live set;
+        a fault landing in that window must neither raise nor crash a
+        ghost.  Replicas still carrying traffic (registered) are
+        preferred; a draining-only replica set is still faultable.
+        """
         instances = self.orchestrator.instances(service)
         live = [i for i in instances if i.is_running()]
         if not live:
-            raise ChaosError(
-                f"no live replica of {service!r} to fault at "
-                f"t={self.sim.now:.3f}")
-        return live[replica % len(live)]
+            return None
+        registered = set(
+            self.orchestrator.registry.instances(service))
+        preferred = [i for i in live if i.address in registered]
+        candidates = preferred if preferred else live
+        return candidates[replica % len(candidates)]
+
+    def _skip(self, fault: Fault, service: str) -> None:
+        """Log a fault that found no live victim (not an error: the
+        plan raced a migration/handover/crash that emptied the
+        service) and move on."""
+        window = self._log(
+            fault, detail=f"skipped: no live replica of {service!r}")
+        self._close(window)
 
     def _apply_instance_crash(self, fault: InstanceCrash) -> None:
         victim = self._pick_victim(fault.service, fault.replica)
+        if victim is None:
+            self._skip(fault, fault.service)
+            return
         window = self._log(fault, detail=str(victim.address))
         victim.crash()
         self._close(window)  # the crash itself is instantaneous
@@ -171,6 +193,9 @@ class FaultInjector:
 
     def _apply_gray(self, fault: GrayFailure) -> None:
         victim = self._pick_victim(fault.service, fault.replica)
+        if victim is None:
+            self._skip(fault, fault.service)
+            return
         window = self._log(
             fault,
             detail=f"{victim.address} x{fault.slowdown:g} slowdown")

@@ -253,6 +253,82 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_mobility(args: argparse.Namespace) -> int:
+    _disable_feature_cache_if_requested(args)
+    from repro.experiments.runner import run_mobility_experiment
+
+    config = _named_config(args.config)
+    plan = None
+    if args.crash:
+        from repro.chaos.faults import FaultPlan, InstanceCrash
+
+        faults = []
+        for spec in args.crash:
+            service, sep, at = spec.partition("@")
+            if not sep or not service:
+                raise SystemExit(
+                    f"--crash wants SERVICE@SECONDS, got {spec!r}")
+            faults.append(InstanceCrash(at_s=float(at),
+                                        service=service))
+        plan = FaultPlan(faults=faults)
+    result = run_mobility_experiment(
+        config, num_clients=args.clients, duration_s=args.duration,
+        seed=args.seed, naive=args.naive, plan=plan,
+        mean_dwell_s=args.dwell)
+    report = result.mobility["report"]
+    mttr = report["mttr_s"]
+    print(format_table(["metric", "value"], [
+        ["config", result.config_name],
+        ["mode", "naive reconnect" if args.naive
+         else "stateful handover"],
+        ["clients", result.num_clients],
+        ["mean FPS", result.mean_fps()],
+        ["success rate", result.success_rate()],
+        ["availability", sum(c.availability()
+                             for c in result.clients)
+         / max(1, len(result.clients))],
+        ["E2E latency (ms)", result.mean_e2e_ms()],
+    ]))
+    print()
+    print(format_table(["handover metric", "value"], [
+        ["handovers planned", report["planned"]],
+        ["completed", report["completed"]],
+        ["failed over (source died)", report["failed_over"]],
+        ["abandoned", report["abandoned"]],
+        ["superseded", report["superseded"]],
+        ["attempts (retried)",
+         f"{report['attempts']} ({report['retried']})"],
+        ["handover MTTR mean (ms)", 1000.0 * mttr["mean"]],
+        ["handover MTTR p95 (ms)", 1000.0 * mttr["p95"]],
+        ["state entries moved", report["state_entries_moved"]],
+        ["state moved (MB)",
+         report["state_bytes_moved"] / 1e6],
+        ["state entries lost", report["state_entries_lost"]],
+        ["handover windows (client)", report["handover_windows"]],
+        ["stale results rejected",
+         report["rejected_stale_results"]],
+        ["frames lost", report["frames_lost"]],
+    ]))
+    if report["frames_lost_by_reason"]:
+        print()
+        print(format_table(
+            ["loss reason", "frames"],
+            sorted(report["frames_lost_by_reason"].items(),
+                   key=lambda kv: -kv[1])))
+    print()
+    print(format_table(
+        ["client", "move", "outcome", "attempts", "latency(ms)",
+         "entries", "lost"],
+        [[record["client_id"],
+          f"{record['from_site']}->{record['to_site']}",
+          record["outcome"], record["attempts"],
+          (1000.0 * record["latency_s"]
+           if record["latency_s"] is not None else "-"),
+          record["state_entries"], record["entries_lost"]]
+         for record in result.mobility["handovers"]]))
+    return 0
+
+
 def cmd_campaign(args: argparse.Namespace) -> int:
     _disable_feature_cache_if_requested(args)
     from repro.experiments.campaign import (
@@ -425,6 +501,31 @@ def build_parser() -> argparse.ArgumentParser:
     testbed = sub.add_parser("testbed", help="show the testbed")
     testbed.add_argument("--clients", type=int, default=4)
 
+    mobility = sub.add_parser(
+        "mobility",
+        help="run a client-mobility experiment with stateful "
+             "session handover between edge sites")
+    mobility.add_argument("--config", default="C1",
+                          help="C1|C2|C12|C21|cloud|hybrid|"
+                               "1,2,2,1,2")
+    mobility.add_argument("--clients", type=int, default=2)
+    mobility.add_argument("--duration", type=float, default=20.0)
+    mobility.add_argument("--seed", type=int, default=0)
+    mobility.add_argument("--naive", action="store_true",
+                          help="kill-and-reconnect baseline instead "
+                               "of the stateful handover protocol")
+    mobility.add_argument("--dwell", type=float, default=8.0,
+                          help="mean dwell time per site (s)")
+    mobility.add_argument("--crash", action="append", default=[],
+                          metavar="SERVICE@T",
+                          help="inject an instance crash, e.g. "
+                               "sift@4.0 (repeatable; failures are "
+                               "then discovered by heartbeat)")
+    mobility.add_argument("--no-feature-cache", action="store_true",
+                          help="disable the content-addressed "
+                               "feature cache (bit-identical "
+                               "results)")
+
     campaign = sub.add_parser(
         "campaign", help="run a replicated experiment grid")
     campaign.add_argument("--name", default="campaign")
@@ -492,6 +593,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "optimize": cmd_optimize,
         "campaign": cmd_campaign,
         "capacity": cmd_capacity,
+        "mobility": cmd_mobility,
     }
     return handlers[args.command](args)
 

@@ -134,6 +134,12 @@ class StreamService:
         #: Downstream credit views, keyed by downstream service name,
         #: populated from CreditAdvertisement packets when flow is on.
         self._credit_ledgers: Dict[str, CreditLedger] = {}
+        #: Optional session router (see repro.mobility.handover.
+        #: SessionDirectory): consulted before the registry balancer so
+        #: a stateful downstream keeps serving the replica a client's
+        #: session lives on.  ``None`` (the default) keeps every send
+        #: byte-identical to the balancer-only simulator.
+        self.session_router = None
         self._busy = False
         self._started = False
 
@@ -372,8 +378,13 @@ class StreamService:
             if ledger is not None and not ledger.take(self.sim.now):
                 self.stats.shed_backpressure += 1
                 return False
-        try:
-            destination = self.registry.resolve(service)
-        except LookupError:
-            return False
+        destination = None
+        if self.session_router is not None:
+            destination = self.session_router.route(service,
+                                                    record.client_id)
+        if destination is None:
+            try:
+                destination = self.registry.resolve(service)
+            except LookupError:
+                return False
         return self.send(destination, record)

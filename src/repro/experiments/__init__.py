@@ -24,6 +24,7 @@ from repro.experiments.repetition import (
 )
 from repro.experiments.runner import (
     ExperimentResult,
+    run_mobility_experiment,
     run_ramp_experiment,
     run_resilience_experiment,
     run_scatter_experiment,
@@ -49,6 +50,7 @@ __all__ = [
     "regressions",
     "replicate",
     "replicate_experiment",
+    "run_mobility_experiment",
     "run_ramp_experiment",
     "run_resilience_experiment",
     "run_scatter_experiment",

@@ -36,6 +36,7 @@ from repro.experiments.repetition import (
 )
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import (
+    run_mobility_experiment,
     run_scatter_experiment,
     run_scatterpp_experiment,
     run_scatterpp_flow_experiment,
@@ -53,6 +54,7 @@ RUNNERS: Dict[str, Callable] = {
     "scatter": run_scatter_experiment,
     "scatterpp": run_scatterpp_experiment,
     "scatterpp-flow": run_scatterpp_flow_experiment,
+    "mobility": run_mobility_experiment,
 }
 
 

@@ -73,6 +73,11 @@ class ExperimentResult:
     #: conservation ledgers; present only when the run had a flow
     #: config attached.
     flow: Optional[dict] = None
+    #: Mobility/handover summary — per-handover records plus the
+    #: aggregate report (MTTR, state moved, frames lost by reason);
+    #: present only for mobility runs
+    #: (see :func:`run_mobility_experiment`).
+    mobility: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Client QoS aggregates
@@ -409,6 +414,126 @@ def run_ramp_experiment(
         analytics=analytics, trace_digest=sim.fingerprint(),
         feature_cache=scope.cache_delta(),
         kernel_profile=scope.profile_delta())
+
+
+def run_mobility_experiment(
+        placement: PlacementConfig, *, num_clients: int,
+        duration_s: float = DEFAULT_DURATION_S, seed: int = 0,
+        trajectories=None,
+        handover_config=None,
+        naive: bool = False,
+        plan=None,
+        resilience: Optional[ResilienceConfig] = None,
+        flow=None,
+        threshold_s: Optional[float] = None,
+        mean_dwell_s: float = 8.0,
+        min_dwell_s: float = 2.0,
+        tracing: bool = False) -> ExperimentResult:
+    """A mobility run: clients roam between edge sites, sessions move.
+
+    Each client follows a :class:`~repro.mobility.trajectory.
+    ClientTrajectory` (seed-derived by default): its access link is
+    driven through the trajectory's netem schedule, and every site
+    change triggers a stateful session handover via
+    :class:`~repro.mobility.handover.HandoverCoordinator` —
+    ``naive=True`` swaps in the kill-and-reconnect baseline the
+    benchmark compares against.  The stateful sift↔matching loop is
+    kept (``stateless_sift=False``): mobility is only interesting when
+    there is session state to move.
+
+    ``plan`` (a :class:`~repro.chaos.faults.FaultPlan`) layers chaos on
+    top — crashes racing handovers exercise the abort/rollback/retry
+    paths; with a plan attached failures are *discovered* by the
+    heartbeat detector, as in :func:`run_resilience_experiment`.
+    Clients default to the stock resilience layer so mid-handover
+    windows degrade to local tracking instead of stalling.
+    """
+    from repro.mobility.handover import HandoverCoordinator
+    from repro.mobility.metrics import build_mobility_report
+    from repro.mobility.trajectory import default_trajectories
+    from repro.net.netem import apply_netem_schedule
+    from repro.scatterpp.pipeline import scatterpp_pipeline_kwargs
+
+    if resilience is None:
+        resilience = ResilienceConfig()
+    kwargs = scatterpp_pipeline_kwargs(
+        threshold_s=threshold_s, stateless_sift=False, flow=flow)
+    scope = _ComputeScope()
+    sim, testbed, orchestrator, pipeline, clients = _build(
+        placement, num_clients, seed, None, kwargs,
+        resilience=resilience, watchdog=(plan is None), flow=flow)
+    detector = injector = None
+    if plan is not None:
+        from repro.chaos.injector import FaultInjector
+        from repro.orchestra.health import FailureDetector
+
+        detector = FailureDetector(orchestrator)
+        detector.start()
+        injector = FaultInjector(orchestrator, plan)
+        injector.start()
+
+    if trajectories is None:
+        trajectories = default_trajectories(
+            num_clients, duration_s=duration_s,
+            rng=testbed.rng.stream("mobility"),
+            mean_dwell_s=mean_dwell_s, min_dwell_s=min_dwell_s)
+    if len(trajectories) != num_clients:
+        raise ValueError(
+            f"need one trajectory per client: "
+            f"{len(trajectories)} != {num_clients}")
+
+    coordinator = HandoverCoordinator(
+        orchestrator, service="sift", config=handover_config,
+        naive=naive)
+    # Upstream services consult the session directory before the
+    # balancer, so a client's frames chase its session.
+    for instance in orchestrator.all_instances():
+        instance.session_router = coordinator.directory
+    planned = 0
+    for client, trajectory in zip(clients, trajectories):
+        coordinator.attach_client(client)
+        coordinator.bind_initial(client.client_id,
+                                 trajectory.initial_site)
+        schedule = trajectory.netem_schedule()
+        if schedule:
+            apply_netem_schedule(testbed.network, client.node, "e1",
+                                 schedule)
+        for at_s, __, to_site in trajectory.handovers():
+            planned += 1
+            sim.schedule(at_s, coordinator.handover_session,
+                         client.client_id, to_site)
+
+    tracer = _attach_tracer(orchestrator, clients) if tracing else None
+    for client in clients:
+        client.start(duration_s)
+    sim.run(until=duration_s + DRAIN_S)
+
+    report = build_mobility_report(
+        coordinator, [c.stats for c in clients], planned=planned)
+    mobility = {
+        "naive": naive,
+        "report": report.as_dict(),
+        "handovers": [record.as_dict()
+                      for record in coordinator.records],
+    }
+    resilience_report = None
+    if injector is not None:
+        from repro.metrics.resilience import build_resilience_report
+
+        resilience_report = build_resilience_report(
+            injector=injector, detector=detector,
+            orchestrator=orchestrator, clients=clients)
+    return ExperimentResult(
+        config_name=placement.name, num_clients=num_clients,
+        duration_s=duration_s,
+        clients=[c.stats for c in clients], pipeline=pipeline,
+        monitor=orchestrator.monitor, testbed=testbed, tracer=tracer,
+        resilience=resilience_report,
+        trace_digest=sim.fingerprint(),
+        feature_cache=scope.cache_delta(),
+        kernel_profile=scope.profile_delta(),
+        flow=flow_summary(pipeline, clients, flow),
+        mobility=mobility)
 
 
 def run_resilience_experiment(

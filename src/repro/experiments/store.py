@@ -48,6 +48,12 @@ def summarize_result(result) -> Dict:
         # summary so conservation invariants are checkable across the
         # campaign's process boundary (workers 0 vs N).
         "flow": getattr(result, "flow", None),
+        # Mobility/handover summary (per-handover records + aggregate
+        # MTTR / state-moved / frames-lost-by-reason report); None for
+        # every run without trajectories.  Carried in the summary so
+        # handover conservation and loss accounting are checkable
+        # across the campaign's process boundary.
+        "mobility": getattr(result, "mobility", None),
     }
 
 

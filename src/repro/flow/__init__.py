@@ -14,8 +14,10 @@ from repro.flow.config import (ADMISSION_POLICIES, FlowConfig,
 from repro.flow.credits import (CREDIT_WIRE_BYTES, CreditAdvertisement,
                                 CreditLedger, TokenBucket)
 from repro.flow.invariants import (ConservationError, SidecarLedger,
+                                   check_client_conservation,
                                    check_result_conservation,
                                    check_sidecar_conservation,
+                                   check_state_conservation,
                                    ledger_totals, sidecar_ledger)
 
 __all__ = [
@@ -32,8 +34,10 @@ __all__ = [
     "TokenBucket",
     "TokenBucketAdmission",
     "build_admission",
+    "check_client_conservation",
     "check_result_conservation",
     "check_sidecar_conservation",
+    "check_state_conservation",
     "default_flow_config",
     "ledger_totals",
     "neutral_flow_config",

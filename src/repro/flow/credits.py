@@ -105,14 +105,34 @@ class CreditLedger:
         self.ttl_s = ttl_s
         #: instance -> (credits, seq, updated_s)
         self._entries: Dict[str, Tuple[int, int, float]] = {}
+        #: Instances retired by a session handover: their credits are
+        #: dropped and their late advertisements rejected until the
+        #: instance is restored (epoch handoff — a stale grant from the
+        #: old site must not admit frames it can no longer serve).
+        self._retired: set = set()
         self.updates = 0
         self.takes = 0
         self.shortfalls = 0
+        self.rejected_retired = 0
+
+    def retire_instance(self, instance: str) -> None:
+        """Epoch handoff: forget an instance and refuse its late
+        advertisements (until :meth:`restore_instance`)."""
+        self._entries.pop(instance, None)
+        self._retired.add(instance)
+
+    def restore_instance(self, instance: str) -> None:
+        """Re-admit a previously retired instance (the session moved
+        back to it)."""
+        self._retired.discard(instance)
 
     def update(self, advertisement: CreditAdvertisement,
                now: float) -> None:
         """Fold one advertisement into the view."""
         if advertisement.service != self.service:
+            return
+        if advertisement.instance in self._retired:
+            self.rejected_retired += 1
             return
         if advertisement.credits < 0:
             raise ValueError(

@@ -15,7 +15,21 @@ Every frame that reaches a sidecar must be accounted for exactly once:
 in-flight term makes the equation an identity, not an inequality), and
 :func:`check_result_conservation` audits every sidecar of a finished
 experiment — the hook both the property suite and the capacity
-benchmark call per probed cell.
+benchmark call per probed cell.  Replicas retired mid-run (migration,
+handover, self-healing replacement) are audited too: retirement moves
+frames and state around, it must not launder them.
+
+Session handover extends the ledger family in two directions:
+
+* :func:`check_client_conservation` — from the client's side of the
+  wire, every sent frame ends in exactly one bucket (received,
+  degraded, paced, or lost-with-reason); anything unresolved must be
+  younger than the resolution budget, else it silently vanished.
+* :func:`check_state_conservation` — every sift state entry that ever
+  entered a store (stored or imported) left it through exactly one of
+  fetch, expiry, handover discard, replacement, or replica stop —
+  across live *and* retired replicas, so moving a session cannot
+  invent or leak state.
 """
 
 from __future__ import annotations
@@ -103,22 +117,126 @@ def check_sidecar_conservation(service) -> SidecarLedger:
     return ledger
 
 
-def check_result_conservation(result) -> List[SidecarLedger]:
+def _result_instances(result, service_name: str,
+                      include_retired: bool) -> List:
+    instances = list(result.pipeline.instances(service_name))
+    if include_retired:
+        orchestrator = getattr(result.pipeline, "orchestrator", None)
+        if orchestrator is not None:
+            instances.extend(
+                orchestrator.retired_instances(service_name))
+    return instances
+
+
+def check_result_conservation(result, *,
+                              include_retired: bool = True
+                              ) -> List[SidecarLedger]:
     """Audit every sidecar of a finished experiment result.
 
     Returns the per-instance ledgers (also useful as a serializable
     flow summary).  Raises :class:`ConservationError` on the first
     imbalance.  Services without sidecars (plain scAtteR) are skipped.
+    ``include_retired`` extends the audit over replicas removed mid-run
+    (migration, handover, watchdog replacement): a retired replica's
+    ledger must balance just like a live one's.
     """
     from repro.scatter.config import PIPELINE_ORDER
 
     ledgers: List[SidecarLedger] = []
     for service_name in PIPELINE_ORDER:
-        for instance in result.pipeline.instances(service_name):
+        for instance in _result_instances(result, service_name,
+                                          include_retired):
             if not hasattr(instance, "sidecar"):
                 continue
             ledgers.append(check_sidecar_conservation(instance))
     return ledgers
+
+
+def check_client_conservation(stats, *, now: float,
+                              budget_s: float) -> int:
+    """Assert one client's send log accounts for every frame.
+
+    The verdict buckets (received / degraded / lost) must be pairwise
+    disjoint, every verdict must refer to a sent frame, and any frame
+    still unresolved must be younger than ``budget_s`` — the bound on
+    how long the resilience layer may take to reach a verdict (retry
+    budget, breaker window, fallback latency).  Returns the number of
+    in-budget unresolved frames (the tail still in flight at snapshot
+    time).  Raises :class:`ConservationError` otherwise: a sent frame
+    with no verdict and no excuse has silently vanished.
+    """
+    received = set(stats.received)
+    degraded = set(stats.degraded)
+    lost = set(stats.lost)
+    sent = set(stats.sent)
+    for name, bucket in (("received", received), ("degraded", degraded),
+                         ("lost", lost), ("paced", set(stats.paced))):
+        orphans = bucket - sent
+        if orphans:
+            raise ConservationError(
+                f"client {stats.client_id}: {name} verdicts for frames "
+                f"never sent: {sorted(orphans)[:5]}")
+    for a_name, a in (("received", received), ("degraded", degraded)):
+        for b_name, b in (("degraded", degraded), ("lost", lost)):
+            if a is b:
+                continue
+            overlap = a & b
+            if overlap:
+                raise ConservationError(
+                    f"client {stats.client_id}: frames in both "
+                    f"{a_name} and {b_name}: {sorted(overlap)[:5]}")
+    late = [frame for frame in stats.unresolved_frames()
+            if now - stats.sent[frame] > budget_s]
+    if late:
+        raise ConservationError(
+            f"client {stats.client_id}: {len(late)} frames unresolved "
+            f"past the {budget_s:.3f}s budget (e.g. frame {late[0]} "
+            f"sent {now - stats.sent[late[0]]:.3f}s ago): frames must "
+            f"be served, degraded, paced, or lost-with-reason — never "
+            f"silently vanished")
+    return len(stats.unresolved_frames())
+
+
+def check_state_conservation(result, *,
+                             include_retired: bool = True
+                             ) -> Dict[str, Dict[str, int]]:
+    """Audit every state store of a finished experiment result.
+
+    Covers live and (by default) retired replicas: an entry that ever
+    entered a store — stored by the service or imported in a handover —
+    must have left through exactly one of fetch, expiry, handover
+    discard, same-key replacement, or replica stop.  Returns the
+    per-instance counter snapshots; raises :class:`ConservationError`
+    on the first imbalance.
+    """
+    from repro.scatter.config import PIPELINE_ORDER
+
+    snapshots: Dict[str, Dict[str, int]] = {}
+    for service_name in PIPELINE_ORDER:
+        for instance in _result_instances(result, service_name,
+                                          include_retired):
+            state = getattr(instance, "state", None)
+            if state is None or not hasattr(state,
+                                            "conservation_balance"):
+                continue
+            balance = state.conservation_balance()
+            snapshot = {
+                "stored": state.stats_stored,
+                "imported": state.stats_imported,
+                "fetched": state.stats_fetched,
+                "expired": state.stats_expired,
+                "discarded": state.stats_discarded,
+                "dropped_stop": state.stats_dropped_stop,
+                "replaced": state.stats_replaced,
+                "live": len(state),
+                "balance": balance,
+            }
+            snapshots[f"{service_name}@{instance.address}"] = snapshot
+            if balance != 0:
+                raise ConservationError(
+                    f"{service_name}@{instance.address}: state ledger "
+                    f"off by {balance}: {snapshot}")
+    return snapshots
 
 
 def ledger_totals(ledgers: List[SidecarLedger]) -> Dict[str, Dict[str, int]]:

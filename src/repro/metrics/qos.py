@@ -36,10 +36,18 @@ class ClientStats:
     #: bucket did).  Paced frames stay in ``sent`` — they count
     #: against the success rate like any other unanswered frame.
     paced: Dict[int, float] = field(default_factory=dict)
+    #: Frames the client has given up on, with a reason (``"retry-
+    #: exhausted"``, ``"no-fallback"``, ``"stale-epoch"``, ...).  A
+    #: late pipeline result supersedes the verdict (the frame moves to
+    #: ``received``) — loss is a claim, arrival is the fact.
+    lost: Dict[int, str] = field(default_factory=dict)
     e2e_latencies_s: List[float] = field(default_factory=list)
     #: Resilience-layer counters (zero when the layer is disabled).
     retries: int = 0
     timeouts: int = 0
+    #: Session-handover counters (zero when mobility is off).
+    handover_windows: int = 0
+    rejected_stale_results: int = 0
 
     def record_sent(self, frame_number: int, timestamp_s: float) -> None:
         if frame_number in self.sent:
@@ -54,8 +62,10 @@ class ClientStats:
                 f"result for unknown frame {frame_number}")
         if frame_number in self.received:
             return  # duplicate delivery: count once
-        # A pipeline result beats a local fallback one for this frame.
+        # A pipeline result beats a local fallback one for this frame,
+        # and refutes an earlier loss verdict.
         self.degraded.pop(frame_number, None)
+        self.lost.pop(frame_number, None)
         self.received[frame_number] = timestamp_s
         self.e2e_latencies_s.append(timestamp_s - sent_at)
 
@@ -75,6 +85,9 @@ class ClientStats:
         if (frame_number in self.received
                 or frame_number in self.degraded):
             return
+        # A local answer supersedes an earlier loss verdict the same
+        # way a late pipeline result does: the user saw augmentation.
+        self.lost.pop(frame_number, None)
         self.degraded[frame_number] = timestamp_s
 
     def record_paced(self, frame_number: int,
@@ -86,6 +99,41 @@ class ClientStats:
         if frame_number in self.paced:
             return
         self.paced[frame_number] = timestamp_s
+
+    def record_lost(self, frame_number: int, reason: str) -> None:
+        """A frame the client has given up on, with the reason why.
+
+        Never overrides an answer: a frame already received or
+        degraded stays answered.  The first reason sticks (the retry
+        budget can exhaust only once per frame; later verdicts would
+        just restate it).
+        """
+        if frame_number not in self.sent:
+            raise ValueError(
+                f"loss verdict for unknown frame {frame_number}")
+        if (frame_number in self.received
+                or frame_number in self.degraded
+                or frame_number in self.lost):
+            return
+        self.lost[frame_number] = reason
+
+    def lost_by_reason(self) -> Dict[str, int]:
+        """Loss counts keyed by reason (JSON-ready)."""
+        counts: Dict[str, int] = {}
+        for reason in self.lost.values():
+            counts[reason] = counts.get(reason, 0) + 1
+        return counts
+
+    def unresolved_frames(self) -> List[int]:
+        """Sent frames with no verdict yet — not received, degraded,
+        paced, or lost.  With the resilience layer attached every one
+        of these must be younger than the retry budget; anything older
+        has silently vanished (a conservation violation)."""
+        return [frame for frame in self.sent
+                if frame not in self.received
+                and frame not in self.degraded
+                and frame not in self.paced
+                and frame not in self.lost]
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -105,6 +153,10 @@ class ClientStats:
     @property
     def frames_paced(self) -> int:
         return len(self.paced)
+
+    @property
+    def frames_lost(self) -> int:
+        return len(self.lost)
 
     def success_rate(self) -> float:
         if not self.sent:

@@ -1,0 +1,115 @@
+"""Mobility-run reporting: handover outcomes, MTTR, loss accounting.
+
+:func:`build_mobility_report` folds a
+:class:`~repro.mobility.handover.HandoverCoordinator`'s records and the
+clients' QoS logs into one JSON-ready :class:`MobilityReport` — the
+columns the CLI prints and the campaign store persists.  Handover MTTR
+here is window-open → cutover (the client-visible outage bound), per
+the resilience chapter's convention of measuring recovery from the
+client's side of the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.metrics.summary import Summary, summarize
+from repro.mobility.handover import HandoverCoordinator, HandoverRecord
+
+
+@dataclass(frozen=True)
+class MobilityReport:
+    """Aggregate view of one mobility run."""
+
+    #: Handovers the trajectories asked for (site changes).
+    planned: int
+    #: Protocol outcomes (completed + failed_over + abandoned +
+    #: superseded + pending == started).
+    started: int
+    completed: int
+    failed_over: int
+    abandoned: int
+    superseded: int
+    pending: int
+    #: Attempts across all handovers (> started ⇒ mid-handover faults
+    #: forced retries).
+    attempts: int
+    retried: int
+    #: Window-open → cutover, seconds, over handovers that cut over.
+    mttr_s: Summary
+    #: State moved between sites.
+    state_entries_moved: int
+    state_bytes_moved: float
+    transfer_chunks: int
+    #: Session entries that died instead of moving (source crashed
+    #: mid-transfer, or the naive baseline tore the session down).
+    state_entries_lost: int
+    #: Client-side session accounting, summed over clients.
+    handover_windows: int
+    rejected_stale_results: int
+    frames_lost: int
+    frames_lost_by_reason: Dict[str, int] = field(default_factory=dict)
+    abort_reasons: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        payload = asdict(self)
+        payload["mttr_s"] = asdict(self.mttr_s)
+        return payload
+
+
+def build_mobility_report(
+        coordinator: HandoverCoordinator,
+        client_stats: Sequence,
+        *,
+        planned: Optional[int] = None) -> MobilityReport:
+    """Fold handover records and client QoS logs into one report."""
+    records: List[HandoverRecord] = coordinator.records
+    outcomes = {"completed": 0, "failed-over": 0, "abandoned": 0,
+                "superseded": 0, "pending": 0}
+    abort_reasons: Dict[str, int] = {}
+    latencies: List[float] = []
+    attempts = 0
+    retried = 0
+    for record in records:
+        outcomes[record.outcome] = outcomes.get(record.outcome, 0) + 1
+        attempts += record.attempts
+        if record.attempts > 1:
+            retried += 1
+        if record.latency_s is not None:
+            latencies.append(record.latency_s)
+        for reason in record.abort_reasons:
+            abort_reasons[reason] = abort_reasons.get(reason, 0) + 1
+
+    lost_by_reason: Dict[str, int] = {}
+    windows = 0
+    stale = 0
+    lost = 0
+    for stats in client_stats:
+        windows += stats.handover_windows
+        stale += stats.rejected_stale_results
+        lost += stats.frames_lost
+        for reason, count in stats.lost_by_reason().items():
+            lost_by_reason[reason] = lost_by_reason.get(reason, 0) + count
+
+    return MobilityReport(
+        planned=len(records) if planned is None else planned,
+        started=len(records),
+        completed=outcomes["completed"],
+        failed_over=outcomes["failed-over"],
+        abandoned=outcomes["abandoned"],
+        superseded=outcomes["superseded"],
+        pending=outcomes["pending"],
+        attempts=attempts,
+        retried=retried,
+        mttr_s=summarize(latencies),
+        state_entries_moved=sum(r.state_entries for r in records),
+        state_bytes_moved=sum(r.state_bytes for r in records),
+        transfer_chunks=sum(r.chunks for r in records),
+        state_entries_lost=sum(r.entries_lost for r in records),
+        handover_windows=windows,
+        rejected_stale_results=stale,
+        frames_lost=lost,
+        frames_lost_by_reason=lost_by_reason,
+        abort_reasons=abort_reasons,
+    )

@@ -36,12 +36,28 @@ class MigrationRecord:
     started_s: float
     traffic_shifted_s: Optional[float] = None
     completed_s: Optional[float] = None
+    #: State entries that died with the old replica — frames whose
+    #: in-memory features could not move (the stateful-loss cost of a
+    #: traffic-only migration; zero for stateless services).
+    dropped_migration: int = 0
 
     @property
     def duration_s(self) -> Optional[float]:
         if self.completed_s is None:
             return None
         return self.completed_s - self.started_s
+
+    def as_dict(self) -> dict:
+        return {
+            "service": self.service,
+            "source": self.source,
+            "target": self.target,
+            "started_s": self.started_s,
+            "traffic_shifted_s": self.traffic_shifted_s,
+            "completed_s": self.completed_s,
+            "duration_s": self.duration_s,
+            "dropped_migration": self.dropped_migration,
+        }
 
 
 class MigrationController:
@@ -95,5 +111,11 @@ class MigrationController:
         record.traffic_shifted_s = sim.now
         # Phase 3: drain in-flight work, then stop the old container.
         yield sim.timeout(self.drain_s)
+        # Whatever session state still lives on the old replica dies
+        # with it — count it before the stop, so the stateful loss a
+        # traffic-only migration causes is on the record, not silent.
+        state = getattr(old_instance, "state", None)
+        record.dropped_migration = (len(state) if state is not None
+                                    else 0)
         self.orchestrator.remove_instance(service, old_instance)
         record.completed_s = sim.now

@@ -63,6 +63,11 @@ class Orchestrator:
         #: (timestamp, service) log of every self-healing redeploy —
         #: the recovery half of the MTTR metric.
         self.redeploy_events: List[Tuple[float, str]] = []
+        #: Replicas removed mid-run (scale-down, migration, handover,
+        #: replacement).  Kept so post-run audits — frame conservation,
+        #: state-store accounting — can still see instances that are no
+        #: longer in the live replica set.
+        self._retired: Dict[str, List[StreamService]] = {}
 
     # ------------------------------------------------------------------
     # Deployment
@@ -96,6 +101,7 @@ class Orchestrator:
         if not instances:
             raise OrchestratorError(f"no instances of {service!r}")
         instance = instances.pop()
+        self._retired.setdefault(service, []).append(instance)
         instance.stop()
 
     def remove_instance(self, service: str,
@@ -106,6 +112,7 @@ class Orchestrator:
             raise OrchestratorError(
                 f"{instance!r} is not a live replica of {service!r}")
         instances.remove(instance)
+        self._retired.setdefault(service, []).append(instance)
         instance.stop()
 
     def _deploy_one(self, sla: ServiceSla,
@@ -124,6 +131,10 @@ class Orchestrator:
     # ------------------------------------------------------------------
     def instances(self, service: str) -> List[StreamService]:
         return list(self._instances.get(service, []))
+
+    def retired_instances(self, service: str) -> List[StreamService]:
+        """Replicas of ``service`` removed mid-run (audit trail)."""
+        return list(self._retired.get(service, []))
 
     def all_instances(self) -> List[StreamService]:
         return [instance for instances in self._instances.values()
@@ -162,6 +173,7 @@ class Orchestrator:
         replacement = self._deploy_one(sla, factory)
         if instance in instances:
             instances.remove(instance)
+            self._retired.setdefault(service, []).append(instance)
         self.registry.deregister(service, instance.address)
         if instance.container.state is ContainerState.RUNNING:
             instance.stop(failed=True)

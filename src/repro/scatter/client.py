@@ -17,6 +17,16 @@ paper's baseline behaviour):
 * while the breaker is open, frames degrade to *local* fast-feature
   tracking (:class:`~repro.scatter.resilience.LocalFallbackTracker`),
   recorded as ``degraded`` rather than lost.
+
+A mobility experiment additionally wires the client into the session
+handover protocol (:mod:`repro.mobility.handover`): ``begin``/``commit``
+/``abort`` notices bracket handover windows, during which the client
+degrades to the local tracker instead of racing frames against a moving
+session; committed handovers bump the client's *session epoch*, which
+stamps outgoing frames so late results produced under a previous epoch
+(at the old site) are rejected, never double-counted.  All of it is
+inert — zero extra events, zero RNG draws — until the first notice
+arrives, so mobility-off runs are bit-identical.
 """
 
 from __future__ import annotations
@@ -29,6 +39,7 @@ from repro.dsp.record import FrameRecord, RecordKind
 from repro.flow.credits import (CreditAdvertisement, CreditLedger,
                                 TokenBucket)
 from repro.metrics.qos import ClientStats
+from repro.mobility.handover import HandoverNotice
 from repro.net.addresses import Address, ServiceRegistry
 from repro.net.datagram import Datagram
 from repro.net.topology import Network
@@ -90,6 +101,13 @@ class ArClient:
             self.pacer = TokenBucket(rate, flow.client_burst)
             self.ingress_credits = CreditLedger(
                 "primary", ttl_s=flow.credit_ttl_s)
+        #: Session-handover state (see repro.mobility.handover): the
+        #: epoch of the last committed handover stamps outgoing frames,
+        #: and ``handover_window`` is True between a ``begin`` notice
+        #: and its ``commit``/``abort``.  Both stay at their zero
+        #: values forever in a mobility-off run.
+        self.session_epoch = 0
+        self.handover_window = False
         self._running = False
         network.bind(self.address, self._on_delivery)
 
@@ -99,9 +117,26 @@ class ArClient:
             if self.ingress_credits is not None:
                 self.ingress_credits.update(record, self.sim.now)
             return
+        if isinstance(record, HandoverNotice):
+            self._on_handover_notice(record)
+            return
         if (isinstance(record, FrameRecord)
                 and record.kind is RecordKind.RESULT
                 and record.client_id == self.client_id):
+            if record.meta.get("session_epoch", 0) < self.session_epoch:
+                # A late result computed at the pre-handover site under
+                # a previous epoch: the session moved on; rejecting it
+                # keeps old and new sites from double-answering.  The
+                # frame itself still gets served — the local tracker
+                # carries it (graceful fallback) — unless degradation
+                # is off, in which case the loss is on the record.
+                self.stats.rejected_stale_results += 1
+                if self.resilience is not None and self.resilience.fallback:
+                    self._degrade(record)
+                else:
+                    self.stats.record_lost(record.frame_number,
+                                           "stale-epoch")
+                return
             self.stats.record_received(record.frame_number, self.sim.now)
             if self.breaker is not None:
                 self.breaker.record_success()
@@ -109,6 +144,22 @@ class ArClient:
                 self.tracer.record_delivery(record.key,
                                             record.created_s,
                                             self.sim.now)
+
+    def _on_handover_notice(self, notice: HandoverNotice) -> None:
+        """Track handover windows; epoch-stale notices are ignored
+        (reordered control packets must not roll the session back)."""
+        if (notice.client_id != self.client_id
+                or notice.epoch <= self.session_epoch):
+            return
+        if notice.phase == "begin":
+            if not self.handover_window:
+                self.stats.handover_windows += 1
+            self.handover_window = True
+        elif notice.phase == "commit":
+            self.session_epoch = notice.epoch
+            self.handover_window = False
+        elif notice.phase == "abort":
+            self.handover_window = False
 
     def start(self, duration_s: float) -> None:
         """Begin streaming for ``duration_s`` seconds."""
@@ -142,10 +193,17 @@ class ArClient:
             reply_to=self.address, step="primary",
             created_s=self.sim.now,
             size_bytes=config.WIRE_SIZES["client->primary"])
+        if self.session_epoch > 0:
+            record.meta["session_epoch"] = self.session_epoch
         self.stats.record_sent(frame_number, self.sim.now)
         if self.tracer is not None:
             self.tracer.ensure((self.client_id, frame_number),
                                self.sim.now)
+        if self.handover_window and self.fallback is not None:
+            # Mid-handover the session state is in flight between
+            # sites: answer locally instead of racing the move.
+            self._degrade(record)
+            return
         if self.resilience is None:
             self._transmit(record)
         else:
@@ -208,7 +266,12 @@ class ArClient:
         self.breaker.record_failure()
         next_attempt = attempt + 1
         if next_attempt >= self.resilience.retry.max_attempts:
-            return  # retry budget exhausted: the frame is lost
+            # Retry budget exhausted: the frame is lost, with a paper
+            # trail (conservation audits match every sent frame to a
+            # verdict; a late result still supersedes this one).
+            self.stats.record_lost(record.frame_number,
+                                   "retry-exhausted")
+            return
         if not self.breaker.allow():
             self._degrade(record)
             return
@@ -220,7 +283,9 @@ class ArClient:
         """Answer a frame locally while the breaker is open."""
         assert self.resilience is not None
         if not self.resilience.fallback:
-            return  # degradation disabled: the frame is simply lost
+            # Degradation disabled: the frame is lost — but accounted.
+            self.stats.record_lost(record.frame_number, "no-fallback")
+            return
         self.sim.schedule(self.resilience.fallback_latency_s,
                           self._complete_degraded, record.frame_number)
 

@@ -49,6 +49,12 @@ class SiftService(StreamService):
         self.fetch_time_s = fetch_time_s
         self.fetch_hits = 0
         self.fetch_misses = 0
+        self.fetches_forwarded = 0
+        #: Handover tombstones: after a client's session state moved,
+        #: fetches for that client that miss here chase the state to
+        #: its new home instead of silently timing out at matching.
+        #: Maintained by the handover coordinator; empty otherwise.
+        self.forward_table: Dict[int, Address] = {}
         #: Optional real vision substrate (see
         #: repro.scatter.content.FrameFeatureExtractor): runs actual
         #: cached SIFT on the replayed frame.  Real wall time only —
@@ -86,6 +92,14 @@ class SiftService(StreamService):
         value = self.state.fetch(record.key)
         reply_address = record.meta.get("fetch_reply_to")
         if value is None:
+            forward_to = self.forward_table.get(record.client_id)
+            if forward_to is not None and forward_to != self.address:
+                # The state moved in a session handover: chase it.
+                # The forwarded fetch contends for the new replica's
+                # slot like any other — redirection is work, not magic.
+                self.fetches_forwarded += 1
+                self.send(forward_to, record)
+                return
             self.fetch_misses += 1
             return  # state expired: matching will time out
         self.fetch_hits += 1
@@ -94,6 +108,18 @@ class SiftService(StreamService):
                 "matching", kind=RecordKind.FETCH_RESPONSE,
                 size_bytes=config.WIRE_SIZES["sift->matching"])
             self.send(reply_address, response)
+
+    def stop(self, failed: bool = False) -> None:
+        # Entries dying with the replica are counted, never silent —
+        # the stateful-loss cost §5 attributes to in-service state.
+        if self._started:
+            self.state.drop_all()
+        super().stop(failed=failed)
+
+    def crash(self) -> None:
+        if self._started:
+            self.state.drop_all()
+        super().crash()
 
 
 class EncodingService(StreamService):

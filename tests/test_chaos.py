@@ -270,6 +270,63 @@ def test_node_failure_blocks_then_retries_redeploy():
     assert all(t >= rejoin_t for t, __ in orchestrator.redeploy_events)
 
 
+def test_fault_on_empty_service_is_skipped_not_raised():
+    """A fault racing a migration/handover/crash that emptied the
+    service must log a skipped window and move on — never raise
+    ChaosError, never crash a ghost instance."""
+    sim = Simulator()
+    rng = RngRegistry(0)
+    testbed = build_paper_testbed(sim, rng, num_clients=1)
+    orchestrator = Orchestrator(testbed)
+    pipeline = ScatterPipeline(testbed, orchestrator,
+                               baseline_configs()["C1"])
+    pipeline.deploy()
+    orchestrator.start(watchdog=False)
+    plan = FaultPlan([
+        InstanceCrash(at_s=1.0, service="sift"),
+        GrayFailure(at_s=2.0, duration_s=1.0, service="sift",
+                    slowdown=10.0),
+    ])
+    injector = FaultInjector(orchestrator, plan)
+    injector.start()
+    # Empty the service before either fault lands (no watchdog, no
+    # detector: nothing redeploys it).
+    orchestrator.instances("sift")[0].crash()
+    sim.run(until=4.0)
+
+    assert len(injector.windows) == 2
+    for window in injector.windows:
+        assert window.detail == "skipped: no live replica of 'sift'"
+        assert window.ended_s == window.started_s
+
+
+def test_fault_prefers_registered_replica_mid_drain():
+    """With one replica deregistered (draining out of a migration or
+    handover) and one registered, the crash lands on the replica still
+    carrying traffic."""
+    sim = Simulator()
+    rng = RngRegistry(0)
+    testbed = build_paper_testbed(sim, rng, num_clients=1)
+    orchestrator = Orchestrator(testbed)
+    pipeline = ScatterPipeline(testbed, orchestrator,
+                               baseline_configs()["C1"])
+    pipeline.deploy()
+    orchestrator.start(watchdog=False)
+    draining = orchestrator.instances("sift")[0]
+    serving = orchestrator.scale_up("sift", machine="e2")
+    orchestrator.registry.deregister("sift", draining.address)
+
+    injector = FaultInjector(orchestrator,
+                             FaultPlan([InstanceCrash(at_s=1.0,
+                                                      service="sift")]))
+    injector.start()
+    sim.run(until=2.0)
+
+    assert not serving.is_running()
+    assert draining.is_running()
+    assert injector.windows[0].detail == str(serving.address)
+
+
 def test_resilience_experiment_deterministic():
     """Same seed, same plan -> bit-identical resilience metrics."""
     plan = [InstanceCrash(at_s=5.0, service="sift"),

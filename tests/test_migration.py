@@ -89,6 +89,48 @@ def test_migration_of_stateful_sift_loses_in_flight_state():
     assert clients[0].stats.success_rate() < 0.97
 
 
+def test_migration_counts_dropped_state_entries():
+    """Session entries still on the old replica when it stops are
+    counted on the record — the stateful loss is never silent."""
+    sim, __, orchestrator, __p, __c = make_running_deployment()
+    controller = MigrationController(orchestrator,
+                                     startup_delay_s=1.0, drain_s=0.0)
+    old = orchestrator.instances("sift")[0]
+    # Pin entries that outlive the migration's 1.0 s startup window.
+    old.state.ttl_s = 60.0
+    for frame in range(3):
+        old.state.put((0, frame), object(), size_bytes=1024.0)
+    record = controller.migrate("sift", old, "e1")
+    sim.run(until=3.0)
+
+    assert record.completed_s is not None
+    assert record.dropped_migration == 3
+    assert record.as_dict()["dropped_migration"] == 3
+
+
+def test_migration_of_stateless_service_drops_no_state():
+    sim, __, orchestrator, __p, clients = make_running_deployment(
+        scatterpp=True)
+    controller = MigrationController(orchestrator,
+                                     startup_delay_s=1.0, drain_s=0.5)
+    clients[0].start(10.0)
+
+    def trigger():
+        yield sim.timeout(3.0)
+        old = orchestrator.instances("lsh")[0]
+        controller.migrate("lsh", old, "e1")
+
+    sim.spawn(trigger())
+    sim.run(until=10.0 + DRAIN_S)
+    record = controller.records[0]
+    assert record.completed_s is not None
+    assert record.dropped_migration == 0
+    summary = record.as_dict()
+    assert summary["service"] == "lsh"
+    assert summary["duration_s"] == pytest.approx(1.5)
+    assert summary["dropped_migration"] == 0
+
+
 def test_migration_validation():
     sim, __, orchestrator, __p, __c = make_running_deployment()
     controller = MigrationController(orchestrator)
