@@ -195,7 +195,20 @@ def cmd_run(args: argparse.Namespace) -> int:
     _disable_feature_cache_if_requested(args)
     config = _named_config(args.config)
     flow = _flow_from_args(args)
-    if args.pipeline == "scatterpp":
+    if args.cohort_size:
+        if args.pipeline != "scatterpp":
+            raise SystemExit("--cohort-size requires --pipeline "
+                             "scatterpp (the cohort engine rides the "
+                             "sidecar flow machinery)")
+        from repro.experiments.runner import run_cohort_experiment
+
+        tracers = (args.tracers if args.tracers is not None
+                   else args.clients)
+        result = run_cohort_experiment(
+            config, cohort_size=args.cohort_size, tracers=tracers,
+            duration_s=args.duration, seed=args.seed,
+            flow=flow, load=args.cohort_load, tracing=args.trace)
+    elif args.pipeline == "scatterpp":
         result = run_scatterpp_experiment(
             config, num_clients=args.clients,
             duration_s=args.duration, seed=args.seed,
@@ -238,6 +251,28 @@ def cmd_run(args: argparse.Namespace) -> int:
               f"batched: {result.flow['batched_frames']} frames in "
               f"{result.flow['batched_rounds']} rounds, shed on "
               f"backpressure: {result.flow['shed_backpressure']}")
+    if result.cohort is not None:
+        cohort = result.cohort
+        spec, ledger = cohort["spec"], cohort["ledger"]
+        latency = cohort["latency_ms"]
+        print()
+        print(format_table(["cohort", "value"], [
+            ["modeled clients", spec["size"]],
+            ["tracers (microscopic)", spec["tracers"]],
+            ["load process", spec["load"]],
+            ["bottleneck", f"{cohort['bottleneck_service']} "
+                           f"({cohort['bottleneck_capacity_fps']:.1f}"
+                           " fps)"],
+            ["macro served fps", f"{cohort['served_fps']:.1f}"],
+            ["macro latency p95 (ms)", f"{latency['p95']:.1f}"],
+        ]))
+        print()
+        print(format_table(
+            ["macro ledger", "frames"],
+            [[key, ledger[key]]
+             for key in ("offered", "shed_credits", "paced",
+                         "rejected", "served", "dropped_stale",
+                         "pending", "balance")]))
     if args.trace and result.tracer is not None:
         print()
         breakdown = result.tracer.mean_breakdown_ms()
@@ -497,6 +532,19 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--batch-max", type=int, default=None,
                      help="max frames per dispatch batch "
                           "(implies --flow)")
+    run.add_argument("--cohort-size", type=int, default=None,
+                     help="model this many total clients as a "
+                          "statistical cohort (scatterpp only); "
+                          "--clients of them run microscopically "
+                          "as tracers")
+    run.add_argument("--tracers", type=int, default=None,
+                     help="override the tracer count for "
+                          "--cohort-size (defaults to --clients)")
+    run.add_argument("--cohort-load", default="constant",
+                     choices=("constant", "ramp", "diurnal",
+                              "poisson"),
+                     help="macro-membership load process "
+                          "(with --cohort-size)")
 
     testbed = sub.add_parser("testbed", help="show the testbed")
     testbed.add_argument("--clients", type=int, default=4)

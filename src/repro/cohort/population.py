@@ -1,0 +1,182 @@
+"""Statistical client populations (the macro side of hybrid runs).
+
+A cohort cell models ``size`` clients, of which ``tracers`` are fully
+simulated :class:`~repro.scatter.client.ArClient` instances (per-frame
+QoS, exact event trajectories) and the remaining ``size - tracers``
+*macro members* exist only as an aggregate load process driven by the
+:class:`~repro.cohort.engine.CohortEngine`.
+
+Load processes answer one question per engine tick: how many frames
+did the macro membership offer during ``[now, now + tick_s)``?  All of
+them are deterministic — the only RNG-consuming process (``poisson``)
+draws from the seed-derived ``"cohort"`` stream, and no process draws
+anything at all until the engine actually starts, so an all-tracer
+cohort (``size == tracers``) leaves the event trajectory — and the
+golden trace digests — bit-identical to a plain microscopic run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.scatter.config import CLIENT_FPS
+
+#: Default engine tick (seconds of virtual time per macro update).
+DEFAULT_TICK_S = 0.1
+
+
+class LoadProcess:
+    """How many frames the macro membership offers per tick."""
+
+    #: Whether this process consumes RNG draws (documented so digest
+    #: reasoning stays local: deterministic processes never touch the
+    #: ``"cohort"`` stream).
+    uses_rng = False
+
+    def offered_frames(self, *, now: float, tick_s: float,
+                       members: int, fps: float,
+                       rng: Optional[np.random.Generator]) -> float:
+        raise NotImplementedError
+
+
+class ConstantLoad(LoadProcess):
+    """Every member streams at ``fps`` for the whole run."""
+
+    def offered_frames(self, *, now, tick_s, members, fps, rng) -> float:
+        return members * fps * tick_s
+
+
+class RampLoad(LoadProcess):
+    """Membership activates linearly over ``ramp_s`` (flash-crowd
+    onset): at ``now >= ramp_s`` the full population streams."""
+
+    def __init__(self, ramp_s: float = 10.0):
+        if ramp_s <= 0:
+            raise ValueError(f"ramp_s must be positive, got {ramp_s}")
+        self.ramp_s = ramp_s
+
+    def offered_frames(self, *, now, tick_s, members, fps, rng) -> float:
+        active = min(1.0, max(0.0, now / self.ramp_s))
+        return active * members * fps * tick_s
+
+
+class DiurnalLoad(LoadProcess):
+    """A sinusoidal activity curve between ``floor`` and 1.0.
+
+    ``period_s`` is the full cycle; simulations compress a day into
+    tens of virtual seconds, so the default keeps one cycle inside a
+    default 60 s run.
+    """
+
+    def __init__(self, period_s: float = 60.0, floor: float = 0.25):
+        if period_s <= 0:
+            raise ValueError(
+                f"period_s must be positive, got {period_s}")
+        if not 0.0 <= floor <= 1.0:
+            raise ValueError(f"floor must be in [0, 1], got {floor}")
+        self.period_s = period_s
+        self.floor = floor
+
+    def offered_frames(self, *, now, tick_s, members, fps, rng) -> float:
+        phase = math.sin(2.0 * math.pi * now / self.period_s)
+        active = self.floor + (1.0 - self.floor) * 0.5 * (1.0 + phase)
+        return active * members * fps * tick_s
+
+
+class PoissonLoad(LoadProcess):
+    """Poisson frame arrivals at the population's mean rate.
+
+    The natural model for many independent, unsynchronized devices;
+    draws one variate per tick from the seed-derived ``"cohort"``
+    stream, so runs stay deterministic per seed.
+    """
+
+    uses_rng = True
+
+    def offered_frames(self, *, now, tick_s, members, fps, rng) -> float:
+        lam = members * fps * tick_s
+        if lam <= 0:
+            return 0.0
+        if rng is None:
+            raise ValueError("poisson load needs an RNG stream")
+        return float(rng.poisson(lam))
+
+
+#: name -> zero-config factory (parameterized variants go through
+#: :func:`build_load_process` kwargs).
+LOAD_PROCESSES: Dict[str, Callable[..., LoadProcess]] = {
+    "constant": ConstantLoad,
+    "ramp": RampLoad,
+    "diurnal": DiurnalLoad,
+    "poisson": PoissonLoad,
+}
+
+
+def build_load_process(name: str, **kwargs) -> LoadProcess:
+    """Construct a load process by registry name."""
+    factory = LOAD_PROCESSES.get(name)
+    if factory is None:
+        raise ValueError(f"unknown load process {name!r}; choose from "
+                         f"{sorted(LOAD_PROCESSES)}")
+    return factory(**kwargs)
+
+
+@dataclass(frozen=True)
+class CohortSpec:
+    """One cohort cell: how many clients, how many of them traced.
+
+    ``size`` counts *every* modeled client; ``tracers`` of them run
+    microscopically and ``size - tracers`` ride the macro engine.  An
+    all-tracer spec (``size == tracers``) is the equivalence witness:
+    the engine then models zero members, spawns zero events, and the
+    run must be bit-identical to a plain microscopic run — pinned by
+    ``tests/test_cohort_equivalence.py``.
+    """
+
+    size: int
+    tracers: int
+    member_fps: float = CLIENT_FPS
+    tick_s: float = DEFAULT_TICK_S
+    load: str = "constant"
+    load_kwargs: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"size must be >= 1, got {self.size}")
+        if not 1 <= self.tracers <= self.size:
+            raise ValueError(
+                f"tracers must be in [1, size={self.size}], "
+                f"got {self.tracers}")
+        if self.member_fps <= 0:
+            raise ValueError(
+                f"member_fps must be positive, got {self.member_fps}")
+        if self.tick_s <= 0:
+            raise ValueError(
+                f"tick_s must be positive, got {self.tick_s}")
+        if self.load not in LOAD_PROCESSES:
+            raise ValueError(
+                f"unknown load process {self.load!r}; choose from "
+                f"{sorted(LOAD_PROCESSES)}")
+
+    @property
+    def macro_members(self) -> int:
+        """Clients modeled statistically (never microscopically)."""
+        return self.size - self.tracers
+
+    def build_load(self) -> LoadProcess:
+        return build_load_process(self.load, **self.load_kwargs)
+
+    def as_dict(self) -> dict:
+        return {
+            "size": self.size,
+            "tracers": self.tracers,
+            "macro_members": self.macro_members,
+            "member_fps": self.member_fps,
+            "tick_s": self.tick_s,
+            "load": self.load,
+            "load_kwargs": dict(self.load_kwargs),
+        }

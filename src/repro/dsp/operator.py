@@ -25,7 +25,7 @@ import numpy as np
 from repro.cluster.container import Container
 from repro.dsp.record import FrameRecord, RecordKind
 from repro.flow.credits import CreditAdvertisement, CreditLedger
-from repro.metrics.summary import SampleReservoir
+from repro.metrics.sketch import PercentileSketch
 from repro.net.addresses import Address, ServiceRegistry
 from repro.net.datagram import (
     HEALTH_WIRE_BYTES,
@@ -45,9 +45,11 @@ ARRIVAL_WINDOW_SAMPLES = 16384
 class ServiceStats:
     """Per-instance counters and latency samples.
 
-    Latency samples live in a bounded :class:`SampleReservoir` so that
-    long soak/chaos runs do not grow memory without limit; counters
-    remain exact.
+    Latency samples live in a constant-memory
+    :class:`~repro.metrics.sketch.PercentileSketch` so that city-scale
+    soak/chaos runs do not grow memory with frame count; counters
+    remain exact, and per-replica sketches merge losslessly into
+    pipeline-wide latency distributions.
     """
 
     received: int = 0
@@ -57,16 +59,14 @@ class ServiceStats:
     #: Sends withheld because the downstream's advertised credits ran
     #: dry (flow control; zero when the substrate is off).
     shed_backpressure: int = 0
-    latency_samples_s: List[float] = field(
-        default_factory=SampleReservoir)
+    latency_samples_s: PercentileSketch = field(
+        default_factory=PercentileSketch)
     #: (timestamp, count) arrival markers for ingress-FPS accounting.
     arrival_times_s: List[float] = field(
         default_factory=lambda: deque(maxlen=ARRIVAL_WINDOW_SAMPLES))
 
     def mean_latency_s(self) -> float:
-        if not self.latency_samples_s:
-            return 0.0
-        return float(np.mean(self.latency_samples_s))
+        return self.latency_samples_s.mean
 
     def ingress_fps(self, window_s: float, now: float) -> float:
         """Arrivals per second over the trailing window."""

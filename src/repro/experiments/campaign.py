@@ -36,6 +36,7 @@ from repro.experiments.repetition import (
 )
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import (
+    run_cohort_experiment,
     run_mobility_experiment,
     run_scatter_experiment,
     run_scatterpp_experiment,
@@ -50,11 +51,37 @@ from repro.scatter.config import (
     scaling_config,
 )
 
+#: Cohort cells model this many clients per microscopic client slot:
+#: a campaign cell with ``clients`` tracers rides a cohort of
+#: ``clients × DEFAULT_COHORT_MULTIPLIER`` modeled clients.
+DEFAULT_COHORT_MULTIPLIER = 500
+
+
+def run_cohort_campaign_cell(placement, *, num_clients: int,
+                             duration_s: float, seed: int,
+                             **kwargs):
+    """Campaign-facing cohort runner (registered as ``cohort``).
+
+    Keeps the shared runner signature — ``num_clients`` becomes the
+    tracer count and the cohort scales by
+    :data:`DEFAULT_COHORT_MULTIPLIER` — so cohort cells shard across
+    campaign workers like every other pipeline.
+    """
+    from repro.flow import default_flow_config
+
+    return run_cohort_experiment(
+        placement,
+        cohort_size=num_clients * DEFAULT_COHORT_MULTIPLIER,
+        tracers=num_clients, duration_s=duration_s, seed=seed,
+        flow=default_flow_config(), **kwargs)
+
+
 RUNNERS: Dict[str, Callable] = {
     "scatter": run_scatter_experiment,
     "scatterpp": run_scatterpp_experiment,
     "scatterpp-flow": run_scatterpp_flow_experiment,
     "mobility": run_mobility_experiment,
+    "cohort": run_cohort_campaign_cell,
 }
 
 

@@ -78,6 +78,10 @@ class ExperimentResult:
     #: present only for mobility runs
     #: (see :func:`run_mobility_experiment`).
     mobility: Optional[dict] = None
+    #: Macro-cohort summary — spec, exact frame ledger, analytic
+    #: capacity, and serialized latency sketches; present only for
+    #: cohort runs (see :func:`run_cohort_experiment`).
+    cohort: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Client QoS aggregates
@@ -346,6 +350,87 @@ def run_scatterpp_experiment(
         kernel_profile=scope.profile_delta(),
         event_profile=_event_profile(sim),
         flow=flow_summary(pipeline, clients, flow))
+
+
+def run_cohort_experiment(
+        placement: PlacementConfig, *, cohort_size: int,
+        tracers: int,
+        duration_s: float = DEFAULT_DURATION_S, seed: int = 0,
+        client_netem: Optional[Netem] = None,
+        threshold_s: Optional[float] = None,
+        flow=None,
+        load: str = "constant",
+        load_kwargs: Optional[dict] = None,
+        tick_s: Optional[float] = None,
+        tracing: bool = False,
+        profile: bool = False) -> ExperimentResult:
+    """A hybrid city-scale run: ``tracers`` microscopic clients ride
+    alongside a ``cohort_size``-client statistical population.
+
+    The tracer clients are real :class:`~repro.scatter.client.
+    ArClient` instances (exact per-frame QoS through the full
+    scAtteR++ event machinery); the remaining ``cohort_size -
+    tracers`` members are modeled by one :class:`~repro.cohort.
+    CohortEngine` tick process — aggregate credits/pacing/admission
+    plus a fluid bottleneck queue — at O(1) memory and O(ticks) events
+    regardless of population size.  ``ExperimentResult.cohort``
+    carries the spec, the exactly-balanced frame ledger (checked
+    before returning), the analytic capacity model, and mergeable
+    latency sketches.
+
+    With ``cohort_size == tracers`` the macro layer is provably
+    inert — zero events, zero RNG — and the run is bit-identical to
+    :func:`run_scatterpp_experiment` with the same arguments (the
+    equivalence contract ``tests/test_cohort_equivalence.py`` pins).
+    """
+    from repro.cohort import (CohortEngine, CohortSpec,
+                              DEFAULT_TICK_S, LOAD_PROCESSES,
+                              check_cohort_conservation)
+    from repro.scatterpp.analytics import SidecarAnalytics
+    from repro.scatterpp.pipeline import scatterpp_pipeline_kwargs
+
+    spec = CohortSpec(
+        size=cohort_size, tracers=tracers,
+        tick_s=tick_s if tick_s is not None else DEFAULT_TICK_S,
+        load=load, load_kwargs=dict(load_kwargs or {}))
+    kwargs = scatterpp_pipeline_kwargs(threshold_s=threshold_s,
+                                       flow=flow)
+    scope = _ComputeScope()
+    sim, testbed, orchestrator, pipeline, clients = _build(
+        placement, spec.tracers, seed, client_netem, kwargs,
+        flow=flow, profile=profile)
+    analytics = SidecarAnalytics(sim)
+    for instance in orchestrator.all_instances():
+        analytics.watch(instance)
+    analytics.start()
+    rng = None
+    if LOAD_PROCESSES[spec.load].uses_rng and spec.macro_members:
+        rng = testbed.rng.stream("cohort")
+    engine = CohortEngine(
+        sim, spec, pipeline, flow=flow,
+        threshold_s=threshold_s if threshold_s is not None else 0.100,
+        rng=rng)
+    tracer = _attach_tracer(orchestrator, clients) if tracing else None
+    engine.start(duration_s)
+    for client in clients:
+        client.start(duration_s)
+    sim.run(until=duration_s + DRAIN_S)
+    check_cohort_conservation(engine.ledger)
+    result = ExperimentResult(
+        config_name=placement.name, num_clients=spec.tracers,
+        duration_s=duration_s,
+        clients=[c.stats for c in clients], pipeline=pipeline,
+        monitor=orchestrator.monitor, testbed=testbed,
+        analytics=analytics, tracer=tracer,
+        trace_digest=sim.fingerprint(),
+        feature_cache=scope.cache_delta(),
+        kernel_profile=scope.profile_delta(),
+        event_profile=_event_profile(sim),
+        flow=flow_summary(pipeline, clients, flow))
+    result.cohort = engine.report(
+        duration_s=duration_s,
+        tracer_mean_fps=result.mean_fps()).as_dict()
+    return result
 
 
 def run_scatterpp_flow_experiment(

@@ -54,6 +54,12 @@ def summarize_result(result) -> Dict:
         # handover conservation and loss accounting are checkable
         # across the campaign's process boundary.
         "mobility": getattr(result, "mobility", None),
+        # Macro-cohort summary (spec + exact frame ledger + analytic
+        # capacity + serialized percentile sketches); None for every
+        # non-cohort run.  The sketches are mergeable, so shard
+        # summaries can be folded back together losslessly
+        # (:func:`repro.cohort.merge_cohort_dicts`).
+        "cohort": getattr(result, "cohort", None),
     }
 
 

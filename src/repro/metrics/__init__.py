@@ -15,6 +15,7 @@ from repro.metrics.hardware import HardwareMonitor, HardwareSample
 from repro.metrics.profiling import (StageProfiler, StageRecord,
                                      default_profiler)
 from repro.metrics.qos import ClientStats
+from repro.metrics.sketch import PercentileSketch, merge_sketches
 from repro.metrics.summary import (CacheStats, SampleReservoir,
                                    Summary, safe_percentile,
                                    summarize)
@@ -25,6 +26,7 @@ __all__ = [
     "FaultRecovery",
     "HardwareMonitor",
     "HardwareSample",
+    "PercentileSketch",
     "ResilienceReport",
     "SampleReservoir",
     "StageProfiler",
@@ -32,6 +34,7 @@ __all__ = [
     "Summary",
     "build_resilience_report",
     "default_profiler",
+    "merge_sketches",
     "safe_percentile",
     "summarize",
 ]

@@ -46,10 +46,30 @@ class SampleReservoir(list):
         """Whether more samples were offered than the reservoir holds."""
         return self.total > self.maxlen
 
+    @property
+    def overflow_ratio(self) -> float:
+        """Fraction of offered samples not retained (subsampled away).
+
+        The reservoir analogue of a sketch's collapsed fraction: both
+        surface through :class:`Summary` under the same name, so a
+        report cannot silently change meaning when a reservoir is
+        swapped for a sketch.
+        """
+        if self.total <= self.maxlen:
+            return 0.0
+        return (self.total - len(self)) / self.total
+
 
 @dataclass(frozen=True)
 class Summary:
-    """Five-number-ish summary of a sample."""
+    """Five-number-ish summary of a sample.
+
+    ``overflow_ratio`` reports how much of the sample lost fidelity
+    before summarization: the subsampled fraction of an overflowed
+    :class:`SampleReservoir`, or the collapsed fraction of a
+    :class:`~repro.metrics.sketch.PercentileSketch`.  Plain lists
+    always report 0.0.
+    """
 
     count: int
     mean: float
@@ -57,22 +77,28 @@ class Summary:
     p95: float
     minimum: float
     maximum: float
+    overflow_ratio: float = 0.0
 
     def __str__(self) -> str:
         return (f"n={self.count} mean={self.mean:.3f} "
                 f"median={self.median:.3f} p95={self.p95:.3f}")
 
 
-def safe_percentile(values: Iterable[float],
-                    q: float) -> Optional[float]:
+def safe_percentile(values, q: float) -> Optional[float]:
     """Percentile that degrades to ``None`` instead of raising.
 
     Reservoirs for stages that never saw a sample (a service that was
     down the whole run, a cache that was disabled) are empty, and
     chaos runs can inject NaN placeholders for dropped measurements.
     ``np.percentile`` raises on the former and poisons the latter;
-    reports must render both as "no data", not crash.
+    reports must render both as "no data", not crash.  A
+    :class:`~repro.metrics.sketch.PercentileSketch` is answered from
+    its buckets directly — its raw samples no longer exist.
     """
+    from repro.metrics.sketch import PercentileSketch
+
+    if isinstance(values, PercentileSketch):
+        return values.quantile(q)
     data = np.asarray([float(v) for v in values], dtype=float)
     data = data[np.isfinite(data)]
     if data.size == 0:
@@ -80,12 +106,33 @@ def safe_percentile(values: Iterable[float],
     return float(np.percentile(data, q))
 
 
-def summarize(values: Iterable[float]) -> Summary:
+def summarize(values) -> Summary:
     """Summarize a sample; an empty sample summarizes to zeros.
 
     Non-finite samples (NaN/inf placeholders) are excluded so a
     single dropped measurement cannot poison every aggregate.
+    Accepts any iterable of floats, a :class:`SampleReservoir`
+    (overflow surfaces as ``overflow_ratio``), or a
+    :class:`~repro.metrics.sketch.PercentileSketch` (summarized from
+    its buckets; mean and extrema are exact).
     """
+    from repro.metrics.sketch import PercentileSketch
+
+    if isinstance(values, PercentileSketch):
+        if values.count == 0:
+            return Summary(count=0, mean=0.0, median=0.0, p95=0.0,
+                           minimum=0.0, maximum=0.0)
+        return Summary(
+            count=values.count,
+            mean=values.mean,
+            median=float(values.quantile(50)),
+            p95=float(values.quantile(95)),
+            minimum=float(values.minimum),
+            maximum=float(values.maximum),
+            overflow_ratio=values.overflow_ratio,
+        )
+    overflow_ratio = (values.overflow_ratio
+                      if isinstance(values, SampleReservoir) else 0.0)
     data: List[float] = [float(v) for v in values]
     array = np.asarray(data, dtype=float)
     array = array[np.isfinite(array)]
@@ -99,6 +146,7 @@ def summarize(values: Iterable[float]) -> Summary:
         p95=float(np.percentile(array, 95)),
         minimum=float(array.min()),
         maximum=float(array.max()),
+        overflow_ratio=overflow_ratio,
     )
 
 

@@ -8,6 +8,7 @@ from repro.cluster.container import Container
 from repro.cluster.machine import Machine
 from repro.cluster.testbed import Testbed
 from repro.dsp.operator import StreamService
+from repro.metrics.sketch import merge_sketches
 from repro.net.addresses import Address
 from repro.orchestra.orchestrator import Orchestrator
 from repro.orchestra.sla import ServiceSla
@@ -86,13 +87,21 @@ class ScatterPipeline:
         return self.orchestrator.instances(service)
 
     def service_latency_ms(self, service: str) -> float:
-        """Mean processing latency across replicas (milliseconds)."""
-        samples = []
-        for instance in self.instances(service):
-            samples.extend(instance.stats.latency_samples_s)
-        if not samples:
+        """Mean processing latency across replicas (milliseconds).
+
+        Per-replica latency sketches carry exact sums and counts, so
+        the cross-replica mean is exact — merging, not resampling.
+        """
+        merged = merge_sketches(instance.stats.latency_samples_s
+                                for instance in self.instances(service))
+        if merged is None or merged.count == 0:
             return 0.0
-        return 1000.0 * sum(samples) / len(samples)
+        return 1000.0 * merged.mean
+
+    def service_latency_sketch(self, service: str):
+        """The merged latency distribution across replicas (or None)."""
+        return merge_sketches(instance.stats.latency_samples_s
+                              for instance in self.instances(service))
 
     def drop_counts(self) -> Dict[str, int]:
         """Busy-drops per service (summed over replicas)."""

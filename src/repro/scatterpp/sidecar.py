@@ -45,7 +45,7 @@ from repro.dsp.record import FrameBatch, FrameRecord
 from repro.flow.admission import build_admission
 from repro.flow.config import FlowConfig
 from repro.flow.credits import CREDIT_WIRE_BYTES, CreditAdvertisement
-from repro.metrics.summary import SampleReservoir
+from repro.metrics.sketch import PercentileSketch
 from repro.net.addresses import Address
 from repro.net.datagram import Datagram, HealthProbe
 from repro.net.rpc import RpcChannel, RpcServer, RpcTimeoutError
@@ -66,11 +66,13 @@ DISPATCH_TIMEOUT_S = 2.0
 class SidecarStats:
     """Cumulative sidecar counters plus sampling helpers.
 
-    Queue-wait samples live in a bounded :class:`SampleReservoir` so
-    long runs don't grow memory without limit; counters stay exact.
-    Only frames that were actually *served* contribute queue-wait
-    samples — stale drops and failed dispatches never pollute the
-    reservoir.
+    Queue-wait samples live in a constant-memory
+    :class:`~repro.metrics.sketch.PercentileSketch` so city-scale
+    runs don't grow memory with frame count; counters — and the
+    sketch's own total/min/max — stay exact, and shard sketches merge
+    losslessly across campaign workers.  Only frames that were
+    actually *served* contribute queue-wait samples — stale drops and
+    failed dispatches never pollute the sketch.
     """
 
     enqueued: int = 0
@@ -94,8 +96,8 @@ class SidecarStats:
     #: frames they carried (batched-dispatch accounting).
     batched_rounds: int = 0
     batched_frames: int = 0
-    queue_wait_samples_s: List[float] = field(
-        default_factory=SampleReservoir)
+    queue_wait_samples_s: PercentileSketch = field(
+        default_factory=PercentileSketch)
 
     def drop_ratio(self) -> float:
         """Fraction of queue exits that were threshold drops."""

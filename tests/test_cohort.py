@@ -1,0 +1,275 @@
+"""Unit tests for the cohort subsystem (loads, spec, ledger, engine).
+
+The cross-cutting contracts (all-tracer bit-equivalence, golden
+digests, hybrid determinism) live in ``test_cohort_equivalence.py``;
+this file covers the pieces in isolation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cohort import (CohortEngine, CohortLedger, CohortSpec,
+                          LOAD_PROCESSES, PipelineCapacityModel,
+                          build_load_process,
+                          check_cohort_conservation,
+                          merge_cohort_dicts)
+from repro.cohort.report import CohortReport
+from repro.flow import default_flow_config
+from repro.flow.credits import (CreditAdvertisement, CreditLedger,
+                                TokenBucket)
+from repro.flow.invariants import ConservationError
+from repro.metrics.sketch import PercentileSketch
+
+
+# ----------------------------------------------------------------------
+# Load processes
+# ----------------------------------------------------------------------
+def offered(process, **kwargs):
+    defaults = dict(now=0.0, tick_s=0.1, members=100, fps=30.0,
+                    rng=None)
+    defaults.update(kwargs)
+    return process.offered_frames(**defaults)
+
+
+def test_constant_load_offers_full_rate():
+    process = build_load_process("constant")
+    assert offered(process) == pytest.approx(300.0)
+    assert offered(process, now=55.0) == pytest.approx(300.0)
+
+
+def test_ramp_load_activates_linearly():
+    process = build_load_process("ramp", ramp_s=10.0)
+    assert offered(process, now=0.0) == pytest.approx(0.0)
+    assert offered(process, now=5.0) == pytest.approx(150.0)
+    assert offered(process, now=10.0) == pytest.approx(300.0)
+    assert offered(process, now=60.0) == pytest.approx(300.0)
+
+
+def test_diurnal_load_oscillates_between_floor_and_full():
+    process = build_load_process("diurnal", period_s=60.0, floor=0.25)
+    values = [offered(process, now=t) for t in np.linspace(0, 60, 61)]
+    assert min(values) >= 0.25 * 300.0 - 1e-6
+    assert max(values) <= 300.0 + 1e-6
+    assert max(values) > min(values)  # actually oscillates
+
+
+def test_poisson_load_draws_from_stream_deterministically():
+    process = build_load_process("poisson")
+    assert process.uses_rng
+    first = offered(process, rng=np.random.default_rng(5))
+    second = offered(process, rng=np.random.default_rng(5))
+    assert first == second
+    assert first == pytest.approx(300.0, rel=0.5)
+    with pytest.raises(ValueError):
+        offered(process, rng=None)
+    assert offered(process, members=0,
+                   rng=np.random.default_rng(5)) == 0.0
+
+
+def test_load_registry_and_validation():
+    assert set(LOAD_PROCESSES) == {"constant", "ramp", "diurnal",
+                                   "poisson"}
+    with pytest.raises(ValueError):
+        build_load_process("flash-mob")
+    with pytest.raises(ValueError):
+        build_load_process("ramp", ramp_s=0.0)
+    with pytest.raises(ValueError):
+        build_load_process("diurnal", floor=1.5)
+
+
+# ----------------------------------------------------------------------
+# CohortSpec
+# ----------------------------------------------------------------------
+def test_spec_macro_members_and_dict():
+    spec = CohortSpec(size=1000, tracers=4)
+    assert spec.macro_members == 996
+    payload = spec.as_dict()
+    assert payload["size"] == 1000
+    assert payload["macro_members"] == 996
+    assert payload["load"] == "constant"
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(size=0, tracers=1),
+    dict(size=10, tracers=0),
+    dict(size=10, tracers=11),
+    dict(size=10, tracers=2, member_fps=0.0),
+    dict(size=10, tracers=2, tick_s=-0.1),
+    dict(size=10, tracers=2, load="nope"),
+])
+def test_spec_validation(kwargs):
+    with pytest.raises(ValueError):
+        CohortSpec(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# Aggregate flow primitives (take_many)
+# ----------------------------------------------------------------------
+def test_token_bucket_take_many_matches_sequential_takes():
+    aggregate = TokenBucket(100.0, 10)
+    sequential = TokenBucket(100.0, 10)
+    taken = sum(1 for _ in range(25) if sequential.take(1.0))
+    assert aggregate.take_many(1.0, 25) == taken
+    assert aggregate.granted == sequential.granted
+    assert aggregate.denied == sequential.denied
+    assert aggregate.take_many(1.0, 0) == 0
+    with pytest.raises(ValueError):
+        aggregate.take_many(1.0, -1)
+
+
+def test_token_bucket_take_many_refills_over_time():
+    bucket = TokenBucket(50.0, 100)
+    assert bucket.take_many(0.0, 200) == 100  # initial burst
+    assert bucket.take_many(1.0, 200) == 50  # one second of refill
+    # Refill is clamped at burst: idle time does not bank past it.
+    assert bucket.take_many(10.0, 200) == 100
+
+
+def test_credit_ledger_take_many_cold_start_grants_all():
+    ledger = CreditLedger("primary")
+    assert ledger.take_many(0.0, 1000) == 1000
+    assert ledger.shortfalls == 0
+
+
+def test_credit_ledger_take_many_drains_richest_first():
+    ledger = CreditLedger("primary", ttl_s=10.0)
+    ledger.update(CreditAdvertisement("primary", "a", 5, 1, 0.0), 0.0)
+    ledger.update(CreditAdvertisement("primary", "b", 20, 1, 0.0), 0.0)
+    assert ledger.take_many(0.0, 18) == 18
+    # richest (b: 20) drained first, a untouched.
+    assert ledger.available(0.0) == 7
+    assert ledger.take_many(0.0, 50) == 7
+    assert ledger.shortfalls == 43
+    assert ledger.available(0.0) == 0
+
+
+def test_credit_ledger_take_many_zero_and_negative():
+    ledger = CreditLedger("primary")
+    assert ledger.take_many(0.0, 0) == 0
+    with pytest.raises(ValueError):
+        ledger.take_many(0.0, -5)
+
+
+# ----------------------------------------------------------------------
+# Ledger conservation
+# ----------------------------------------------------------------------
+def test_ledger_balance_zero_when_consistent():
+    ledger = CohortLedger(offered=100, shed_credits=10, paced=5,
+                          rejected=5, served=70, dropped_stale=8,
+                          pending=2)
+    assert ledger.balance == 0
+    assert check_cohort_conservation(ledger) is ledger
+    assert ledger.as_dict()["balance"] == 0
+
+
+def test_ledger_conservation_raises_on_imbalance():
+    with pytest.raises(ConservationError):
+        check_cohort_conservation(CohortLedger(offered=10, served=5))
+
+
+def test_ledger_conservation_raises_on_negative_counter():
+    ledger = CohortLedger(offered=0, served=5, pending=-5)
+    with pytest.raises(ConservationError):
+        check_cohort_conservation(ledger)
+
+
+# ----------------------------------------------------------------------
+# Report merging across shards
+# ----------------------------------------------------------------------
+def shard_report(served, latency_s):
+    latency = PercentileSketch()
+    latency.insert(latency_s, served)
+    wait = PercentileSketch()
+    wait.insert(0.010, served)
+    return CohortReport(
+        spec=CohortSpec(size=100, tracers=2).as_dict(),
+        ledger=CohortLedger(offered=served, served=served),
+        duration_s=10.0, bottleneck_service="sift",
+        bottleneck_capacity_fps=120.0, tracer_mean_fps=22.0,
+        latency=latency, queue_wait=wait).as_dict()
+
+
+def test_merge_cohort_dicts_folds_ledgers_and_sketches():
+    merged = merge_cohort_dicts([shard_report(100, 0.050),
+                                 shard_report(300, 0.090)])
+    assert merged["ledger"]["served"] == 400
+    assert merged["ledger"]["balance"] == 0
+    assert merged["latency_ms"]["count"] == 400
+    assert merged["latency_ms"]["maximum"] == pytest.approx(90.0)
+    # The merged payload still carries mergeable sketches.
+    revived = PercentileSketch.from_dict(merged["latency_sketch"])
+    assert revived.count == 400
+
+
+def test_merge_cohort_dicts_empty_and_single():
+    assert merge_cohort_dicts([]) is None
+    assert merge_cohort_dicts([None]) is None
+    single = shard_report(10, 0.020)
+    merged = merge_cohort_dicts([single])
+    assert merged["ledger"] == single["ledger"]
+    assert merged["latency_sketch"] == single["latency_sketch"]
+
+
+# ----------------------------------------------------------------------
+# Capacity model and engine (against a real deployment)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def deployed():
+    from repro.experiments.runner import _build
+    from repro.scatter.config import baseline_configs
+    from repro.scatterpp.pipeline import scatterpp_pipeline_kwargs
+
+    flow = default_flow_config()
+    sim, testbed, orchestrator, pipeline, clients = _build(
+        baseline_configs()["C1"], 1, 0, None,
+        scatterpp_pipeline_kwargs(flow=flow), flow=flow)
+    return sim, pipeline, flow
+
+
+def test_capacity_model_covers_every_service(deployed):
+    __, pipeline, flow = deployed
+    model = PipelineCapacityModel(pipeline, flow=flow)
+    assert set(model.capacity_fps) == {"primary", "sift", "encoding",
+                                       "lsh", "matching"}
+    assert all(rate > 0 for rate in model.capacity_fps.values())
+    assert model.bottleneck_fps == min(model.capacity_fps.values())
+    # SIFT is the paper's slowest stage; with one replica each it is
+    # the bottleneck.
+    assert model.bottleneck_service == "sift"
+    assert model.base_latency_s > 0
+
+
+def test_batching_raises_modeled_capacity(deployed):
+    __, pipeline, flow = deployed
+    batched = PipelineCapacityModel(pipeline, flow=flow)
+    unbatched = PipelineCapacityModel(pipeline, flow=None)
+    assert flow.batch_max > 1
+    assert batched.bottleneck_fps > unbatched.bottleneck_fps
+
+
+def test_engine_validation(deployed):
+    sim, pipeline, flow = deployed
+    spec = CohortSpec(size=100, tracers=1)
+    with pytest.raises(ValueError):
+        CohortEngine(sim, spec, pipeline, threshold_s=0.0)
+    with pytest.raises(ValueError):  # poisson needs an RNG stream
+        CohortEngine(sim, CohortSpec(size=100, tracers=1,
+                                     load="poisson"), pipeline)
+    engine = CohortEngine(sim, spec, pipeline, flow=flow)
+    with pytest.raises(ValueError):
+        engine.start(0.0)
+    engine.start(1.0)
+    with pytest.raises(RuntimeError):
+        engine.start(1.0)
+
+
+def test_all_tracer_engine_spawns_nothing(deployed):
+    sim, pipeline, flow = deployed
+    engine = CohortEngine(sim, CohortSpec(size=3, tracers=3),
+                          pipeline, flow=flow)
+    before = sim.now
+    engine.start(5.0)
+    sim.run(until=before + 5.0)
+    assert engine.ledger.offered == 0
+    assert engine.ledger.as_dict()["balance"] == 0
+    assert engine.latency.count == 0

@@ -127,13 +127,14 @@ def test_flow_invariants_hold_under_random_schedules(
             sidecar = instance.sidecar
             # Credits are clamped headroom: never negative.
             assert sidecar.credits() >= 0
-            # Only served frames sample the queue-wait reservoir.
+            # Only served frames sample the queue-wait sketch.
             assert sidecar.stats.queue_wait_samples_s.total == \
                 sidecar.stats.dispatched
-            # Staleness: whatever reached the reservoir waited at most
-            # the threshold.
-            assert all(wait <= THRESHOLD_S + 1e-9 for wait in
-                       sidecar.stats.queue_wait_samples_s)
+            # Staleness: whatever reached the sketch waited at most
+            # the threshold (the sketch's maximum is exact, not a
+            # bucket estimate).
+            maximum = sidecar.stats.queue_wait_samples_s.maximum
+            assert maximum is None or maximum <= THRESHOLD_S + 1e-9
 
     # At least one sidecar did real work — the schedule wasn't vacuous.
     assert sum(ledger.enqueued for ledger in ledgers) > 0

@@ -9,10 +9,12 @@ from repro.metrics import (
     CacheStats,
     ClientStats,
     HardwareMonitor,
+    PercentileSketch,
     StageProfiler,
     safe_percentile,
     summarize,
 )
+from repro.metrics.summary import SampleReservoir
 from repro.sim import Simulator
 
 
@@ -67,6 +69,96 @@ def test_safe_percentile_filters_non_finite():
     values = [1.0, float("nan"), 3.0, float("inf")]
     assert safe_percentile(values, 50.0) == pytest.approx(2.0)
     assert safe_percentile(range(100), 95.0) == pytest.approx(94.05)
+
+
+# ----------------------------------------------------------------------
+# summarize / safe_percentile on sketches (reservoir drop-ins)
+# ----------------------------------------------------------------------
+def test_summarize_empty_sketch_matches_empty_list():
+    assert summarize(PercentileSketch()) == summarize([])
+
+
+def test_summarize_single_sample_sketch_is_exact():
+    sketch = PercentileSketch()
+    sketch.append(0.042)
+    summary = summarize(sketch)
+    assert summary.count == 1
+    assert summary.mean == pytest.approx(0.042)
+    assert summary.median == pytest.approx(0.042, rel=1e-12)
+    assert summary.p95 == pytest.approx(0.042, rel=1e-12)
+    assert summary.minimum == pytest.approx(0.042)
+    assert summary.maximum == pytest.approx(0.042)
+    assert summary.overflow_ratio == 0.0
+
+
+def test_summarize_sketch_matches_list_within_alpha():
+    values = [0.010 * (i + 1) for i in range(100)]
+    sketch = PercentileSketch()
+    sketch.extend(values)
+    from_list = summarize(values)
+    from_sketch = summarize(sketch)
+    assert from_sketch.count == from_list.count
+    assert from_sketch.mean == pytest.approx(from_list.mean)
+    assert from_sketch.minimum == from_list.minimum
+    assert from_sketch.maximum == from_list.maximum
+    assert from_sketch.median == pytest.approx(from_list.median,
+                                               rel=0.02)
+    assert from_sketch.p95 == pytest.approx(from_list.p95, rel=0.02)
+
+
+def test_summarize_sketch_skips_non_finite():
+    sketch = PercentileSketch()
+    sketch.extend([1.0, float("nan"), 2.0, float("inf"), 3.0])
+    summary = summarize(sketch)
+    assert summary.count == 3
+    assert summary.mean == pytest.approx(2.0)
+    assert summary.minimum == 1.0
+    assert summary.maximum == 3.0
+
+
+def test_summarize_all_non_finite_sketch_is_empty():
+    sketch = PercentileSketch()
+    sketch.extend([float("nan"), float("inf")])
+    assert summarize(sketch) == summarize([])
+
+
+def test_safe_percentile_on_sketch():
+    sketch = PercentileSketch()
+    assert safe_percentile(sketch, 95.0) is None
+    sketch.extend(range(1, 101))
+    assert safe_percentile(sketch, 50.0) == pytest.approx(50.0,
+                                                          rel=0.03)
+    assert safe_percentile(sketch, 95.0) == pytest.approx(95.0,
+                                                          rel=0.03)
+
+
+def test_overflow_ratio_consistent_between_reservoir_and_sketch():
+    """The same overloaded stream reports overflow the same way
+    whether it lands in a bounded reservoir (subsampling) or a
+    bin-capped sketch (bound-collapsing): zero when nothing was
+    dropped, positive and equal to the affected fraction otherwise."""
+    reservoir = SampleReservoir(maxlen=10)
+    reservoir.extend(float(i) for i in range(40))
+    assert reservoir.overflow_ratio == pytest.approx(30 / 40)
+    assert summarize(reservoir).overflow_ratio == \
+        reservoir.overflow_ratio
+
+    healthy = PercentileSketch()
+    healthy.extend(range(1, 41))
+    assert healthy.overflow_ratio == 0.0
+    assert summarize(healthy).overflow_ratio == 0.0
+
+    cramped = PercentileSketch(alpha=0.05, max_bins=4)
+    cramped.extend([10.0 ** k for k in range(12)])
+    assert cramped.collapsed > 0
+    assert cramped.overflow_ratio == pytest.approx(
+        cramped.collapsed / cramped.count)
+    assert summarize(cramped).overflow_ratio == \
+        cramped.overflow_ratio
+
+
+def test_summary_overflow_ratio_defaults_to_zero_for_lists():
+    assert summarize([1.0, 2.0]).overflow_ratio == 0.0
 
 
 # ----------------------------------------------------------------------

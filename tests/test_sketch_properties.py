@@ -1,0 +1,274 @@
+"""Property suite for the mergeable percentile sketch.
+
+Pins the four contracts city-scale cohort runs lean on:
+
+* **merge algebra** — bucket-count addition is commutative and (absent
+  the ``max_bins`` collapse) associative, and merging never loses a
+  sample: exact ``total``/``count``/``sum``/extrema are preserved;
+* **quantile error** — every estimate is within the documented
+  ``alpha`` relative error of the true order statistic at rank
+  ``floor(q/100 * (count-1))`` of the exactly sorted input (plus the
+  ``min_magnitude`` absolute floor for near-zero values);
+* **constant memory** — a million inserts occupy no more bucket state
+  than the dynamic range dictates, hard-capped by ``max_bins``;
+* **serialization** — ``to_dict``/``from_dict`` round-trips through
+  JSON and across a real process boundary, and a sketch that traveled
+  keeps merging losslessly.
+
+All hypothesis tests run derandomized: the suite is part of tier-1 and
+must never flake.
+"""
+
+import json
+import math
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.sketch import (DEFAULT_MIN_MAGNITUDE,
+                                  PercentileSketch, merge_sketches)
+
+#: Finite samples spanning signs and ~12 orders of magnitude — wide
+#: enough to exercise many buckets, narrow enough to never trigger
+#: the max_bins collapse (so associativity is exact).
+samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=200)
+
+quantiles = st.floats(min_value=0.0, max_value=100.0)
+
+
+def sketch_of(values, **kwargs):
+    sketch = PercentileSketch(**kwargs)
+    sketch.extend(values)
+    return sketch
+
+
+def assert_same_population(left, right):
+    """Identical bucket state; ``sum`` only up to float re-association
+    (addition order differs between merge orders, bitwise equality
+    does not survive — everything else must match exactly)."""
+    left_payload, right_payload = left.to_dict(), right.to_dict()
+    left_sum = left_payload.pop("sum")
+    right_sum = right_payload.pop("sum")
+    assert left_payload == right_payload
+    assert left_sum == pytest.approx(right_sum, rel=1e-12, abs=1e-300)
+
+
+# ----------------------------------------------------------------------
+# Merge algebra
+# ----------------------------------------------------------------------
+@settings(max_examples=30, derandomize=True, deadline=None)
+@given(samples, samples)
+def test_merge_commutes(left_values, right_values):
+    left, right = sketch_of(left_values), sketch_of(right_values)
+    assert left.merge(right) == right.merge(left)
+
+
+@settings(max_examples=30, derandomize=True, deadline=None)
+@given(samples, samples, samples)
+def test_merge_associates(a_values, b_values, c_values):
+    a, b, c = (sketch_of(values) for values
+               in (a_values, b_values, c_values))
+    assert_same_population(a.merge(b).merge(c), a.merge(b.merge(c)))
+
+
+@settings(max_examples=30, derandomize=True, deadline=None)
+@given(samples, samples)
+def test_merge_loses_nothing_exact(left_values, right_values):
+    merged = sketch_of(left_values).merge(sketch_of(right_values))
+    both = left_values + right_values
+    assert merged.total == len(both)
+    assert merged.count == len(both)
+    assert merged.sum == pytest.approx(sum(both))
+    assert merged.minimum == min(both)
+    assert merged.maximum == max(both)
+    # ... and equals sketching the concatenation directly.
+    assert_same_population(merged, sketch_of(both))
+
+
+@settings(max_examples=20, derandomize=True, deadline=None)
+@given(samples)
+def test_merge_with_empty_is_identity(values):
+    sketch = sketch_of(values)
+    assert sketch.merge(PercentileSketch()) == sketch
+    assert PercentileSketch().merge(sketch) == sketch
+
+
+def test_merge_rejects_mismatched_parameters():
+    with pytest.raises(ValueError):
+        PercentileSketch(alpha=0.01).merge(PercentileSketch(alpha=0.02))
+    assert merge_sketches([]) is None
+
+
+# ----------------------------------------------------------------------
+# Quantile error bound
+# ----------------------------------------------------------------------
+def assert_quantiles_within_bound(values, sketch):
+    """Every estimate within alpha relative error of the true order
+    statistic at the documented rank (plus the near-zero floor)."""
+    ordered = sorted(values)
+    for q in (0.0, 1.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0):
+        exact = ordered[math.floor(q / 100.0 * (len(ordered) - 1))]
+        estimate = sketch.quantile(q)
+        bound = sketch.alpha * abs(exact) + sketch.min_magnitude
+        assert abs(estimate - exact) <= bound, (
+            f"q={q}: estimate {estimate} vs exact {exact} "
+            f"(bound {bound})")
+
+
+@settings(max_examples=50, derandomize=True, deadline=None)
+@given(samples)
+def test_quantile_error_within_documented_bound(values):
+    assert_quantiles_within_bound(values, sketch_of(values))
+
+
+def test_quantile_error_on_heavy_tailed_bulk():
+    """The realistic shape: 100k lognormal latencies, dense checks."""
+    rng = np.random.default_rng(7)
+    values = rng.lognormal(mean=-3.0, sigma=1.0, size=100_000)
+    sketch = sketch_of(values)
+    ordered = np.sort(values)
+    for q in np.linspace(0.0, 100.0, 41):
+        exact = float(ordered[math.floor(q / 100.0
+                                         * (len(ordered) - 1))])
+        estimate = sketch.quantile(q)
+        assert abs(estimate - exact) <= sketch.alpha * exact + 1e-12
+
+
+@settings(max_examples=20, derandomize=True, deadline=None)
+@given(samples, quantiles)
+def test_quantile_clamped_into_observed_range(values, q):
+    sketch = sketch_of(values)
+    estimate = sketch.quantile(q)
+    assert min(values) <= estimate <= max(values)
+
+
+def test_single_sample_answers_every_quantile_exactly():
+    sketch = sketch_of([0.0371])
+    for q in (0.0, 13.7, 50.0, 95.0, 100.0):
+        assert sketch.quantile(q) == pytest.approx(0.0371, rel=1e-12)
+
+
+def test_empty_sketch_has_no_quantiles():
+    sketch = PercentileSketch()
+    assert sketch.quantile(50.0) is None
+    assert not sketch
+    assert sketch.minimum is None and sketch.maximum is None
+    with pytest.raises(ValueError):
+        sketch.quantile(101.0)
+
+
+# ----------------------------------------------------------------------
+# Constant memory
+# ----------------------------------------------------------------------
+def test_million_inserts_stay_constant_memory():
+    """10^6 samples over 6 decades of latency: bucket state grows with
+    the dynamic range only, far below the max_bins hard cap."""
+    rng = np.random.default_rng(11)
+    sketch = PercentileSketch()
+    bins_after_warmup = None
+    for chunk in range(10):
+        sketch.extend(rng.lognormal(mean=-3.0, sigma=1.5,
+                                    size=100_000))
+        if chunk == 0:
+            bins_after_warmup = sketch.bin_count
+    assert sketch.total == 1_000_000
+    assert sketch.count == 1_000_000
+    # Range-bounded, not count-bounded: 900k further samples from the
+    # same distribution grow the bucket table only marginally.
+    assert sketch.bin_count <= bins_after_warmup + 200
+    assert sketch.bin_count <= sketch.max_bins
+    assert sketch.overflow_ratio == 0.0
+    # The serialized footprint is a few KB, not a million samples.
+    assert len(json.dumps(sketch.to_dict())) < 64_000
+
+
+def test_collapse_honors_max_bins_and_conserves_counts():
+    sketch = PercentileSketch(alpha=0.05, max_bins=16)
+    rng = np.random.default_rng(3)
+    values = rng.lognormal(mean=0.0, sigma=8.0, size=20_000)
+    sketch.extend(values)
+    assert sketch.bin_count <= sketch.max_bins + 1  # +1 for zeros bin
+    assert sketch.count == 20_000
+    assert sketch.collapsed > 0
+    # The alpha bound is gone for the collapsed head — and the sketch
+    # says so: overflow_ratio reports exactly the affected fraction.
+    assert sketch.overflow_ratio == pytest.approx(
+        sketch.collapsed / sketch.count)
+    # What survives a collapse: exact extrema, range clamping, and
+    # quantile monotonicity.
+    assert sketch.minimum == pytest.approx(float(values.min()))
+    assert sketch.maximum == pytest.approx(float(values.max()))
+    assert sketch.quantile(100.0) == pytest.approx(
+        sketch.maximum, rel=sketch.alpha)
+    estimates = [sketch.quantile(q) for q in np.linspace(0, 100, 21)]
+    assert estimates == sorted(estimates)
+    assert all(sketch.minimum <= e <= sketch.maximum
+               for e in estimates)
+
+
+# ----------------------------------------------------------------------
+# Serialization across process boundaries
+# ----------------------------------------------------------------------
+def _extend_in_child(payload_json: str) -> str:
+    """Worker entry: revive a sketch from JSON, add a shard, ship it
+    back as JSON (module-level so it pickles under spawn too)."""
+    sketch = PercentileSketch.from_dict(json.loads(payload_json))
+    sketch.extend([0.010, 0.020, 0.030])
+    return json.dumps(sketch.to_dict())
+
+
+@settings(max_examples=30, derandomize=True, deadline=None)
+@given(samples)
+def test_json_round_trip_is_lossless(values):
+    sketch = sketch_of(values)
+    revived = PercentileSketch.from_dict(
+        json.loads(json.dumps(sketch.to_dict())))
+    assert revived == sketch
+    assert revived.quantile(95.0) == sketch.quantile(95.0)
+    assert revived.mean == sketch.mean
+
+
+def test_round_trip_across_a_real_process_boundary():
+    parent = sketch_of([0.040, 0.050, 0.060])
+    with ProcessPoolExecutor(max_workers=1) as pool:
+        shipped = pool.submit(_extend_in_child,
+                              json.dumps(parent.to_dict())).result()
+    child = PercentileSketch.from_dict(json.loads(shipped))
+    assert child.count == 6
+    assert child.minimum == pytest.approx(0.010)
+    assert child.maximum == pytest.approx(0.060)
+    # The traveled sketch still merges losslessly with a local one.
+    local = sketch_of([0.070])
+    merged = child.merge(local)
+    assert merged.count == 7
+    assert merged.maximum == pytest.approx(0.070)
+
+
+def test_non_finite_accounting_survives_round_trip():
+    sketch = PercentileSketch()
+    sketch.extend([0.010, float("nan"), 0.020, float("inf")])
+    revived = PercentileSketch.from_dict(sketch.to_dict())
+    assert revived.total == 4
+    assert revived.count == 2
+    assert revived.skipped_nonfinite == 2
+    assert revived == sketch
+
+
+def test_empty_sketch_round_trips():
+    revived = PercentileSketch.from_dict(
+        json.loads(json.dumps(PercentileSketch().to_dict())))
+    assert revived == PercentileSketch()
+    assert revived.quantile(50.0) is None
+
+
+def test_near_zero_values_bin_as_zero():
+    sketch = sketch_of([DEFAULT_MIN_MAGNITUDE / 10.0, 0.0, -0.0])
+    assert sketch.count == 3
+    assert sketch.quantile(50.0) == pytest.approx(
+        0.0, abs=DEFAULT_MIN_MAGNITUDE)
