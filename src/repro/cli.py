@@ -366,12 +366,23 @@ def cmd_mobility(args: argparse.Namespace) -> int:
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     _disable_feature_cache_if_requested(args)
+    from repro.experiments.cache import DEFAULT_CACHE_DIR
     from repro.experiments.campaign import (
         Campaign,
         render_report,
         run_campaign,
     )
 
+    if args.cache and args.no_cache:
+        raise SystemExit("--cache and --no-cache are contradictory")
+    cache_enabled = (args.cache or args.cache_dir is not None) \
+        and not args.no_cache
+    cache_dir = None
+    if cache_enabled:
+        cache_dir = (args.cache_dir if args.cache_dir is not None
+                     else DEFAULT_CACHE_DIR)
+        print(f"  ... cell cache enabled under {cache_dir}/ "
+              "(content-addressed; only changed cells recompute)")
     campaign = Campaign(
         name=args.name,
         pipelines=tuple(args.pipelines.split(",")),
@@ -385,11 +396,18 @@ def cmd_campaign(args: argparse.Namespace) -> int:
               f"{args.workers} worker process(es)")
     report = run_campaign(
         campaign, store_dir=args.store, workers=args.workers,
+        cache_dir=cache_dir,
         progress=lambda line: print(f"  ... {line}"),
         task_progress=(lambda line: print(f"      {line}"))
         if args.verbose else None)
     print()
     print(render_report(report))
+    if report.cache is not None:
+        cache = report.cache
+        print(f"\ncell cache: hits={cache['hits']} "
+              f"misses={cache['misses']} stored={cache['stored']} "
+              f"corrupt={cache['corrupt']} "
+              f"entries={cache['entries']} dir={cache['directory']}")
     if report.failures:
         print(f"\nWARNING: {len(report.failures)} cell(s) failed; "
               f"see the 'failed cells' table above.")
@@ -594,6 +612,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="disable the content-addressed feature "
                                "cache in this process and all worker "
                                "processes (bit-identical results)")
+    campaign.add_argument("--cache", action="store_true",
+                          help="enable the content-addressed campaign "
+                               "cell cache: re-runs replay unchanged "
+                               "cells byte-identically and compute "
+                               "only new/changed ones")
+    campaign.add_argument("--no-cache", action="store_true",
+                          help="force the cell cache off (overrides "
+                               "--cache/--cache-dir)")
+    campaign.add_argument("--cache-dir", default=None,
+                          help="cell-cache directory (implies --cache; "
+                               "default .repro-cell-cache)")
 
     capacity = sub.add_parser(
         "capacity",

@@ -7,13 +7,21 @@ hardware metrics; :mod:`repro.experiments.figures` maps every figure of
 the paper's evaluation to a function regenerating its rows.
 """
 
+from repro.experiments.cache import (
+    CampaignCellCache,
+    code_fingerprint,
+    task_fingerprint,
+)
 from repro.experiments.parallel import (
     CellFailure,
     CellTask,
     TaskOutcome,
+    effective_workers,
     plan_tasks,
     run_tasks,
     shard_tasks,
+    shutdown_pool,
+    warm_pool,
 )
 from repro.experiments.repetition import (
     ReplicatedMetric,
@@ -38,9 +46,12 @@ from repro.experiments.store import (
 )
 
 __all__ = [
+    "CampaignCellCache",
     "CellFailure",
     "CellTask",
     "ExperimentResult",
+    "code_fingerprint",
+    "effective_workers",
     "ReplicatedMetric",
     "ResultStore",
     "TaskOutcome",
@@ -57,6 +68,9 @@ __all__ = [
     "run_scatterpp_experiment",
     "run_tasks",
     "shard_tasks",
+    "shutdown_pool",
     "significantly_better",
     "summarize_result",
+    "task_fingerprint",
+    "warm_pool",
 ]

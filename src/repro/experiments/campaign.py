@@ -21,8 +21,9 @@ command line; programmatically::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.experiments.cache import CampaignCellCache, resolve_cell_cache
 from repro.experiments.parallel import (
     CellFailure,
     TaskOutcome,
@@ -82,6 +83,29 @@ RUNNERS: Dict[str, Callable] = {
     "scatterpp-flow": run_scatterpp_flow_experiment,
     "mobility": run_mobility_experiment,
     "cohort": run_cohort_campaign_cell,
+}
+
+
+def _cohort_runner_fingerprint() -> Tuple:
+    """Config the cohort campaign runner injects beyond the task.
+
+    The cohort multiplier and the default flow config parameterize
+    every cohort cell without appearing in its :class:`CellTask`, so
+    the cell cache folds them into the task fingerprint — changing
+    either must miss, not replay stale summaries.  (They are also code
+    constants, but fingerprinting them directly keeps the cache honest
+    even if they ever become runtime-configurable.)
+    """
+    from repro.flow import default_flow_config
+
+    return (DEFAULT_COHORT_MULTIPLIER, repr(default_flow_config()))
+
+
+#: pipeline -> () -> tuple of extra config the runner injects beyond
+#: the CellTask fields; folded into the cell-cache task fingerprint
+#: (:func:`repro.experiments.cache.task_fingerprint`).
+RUNNER_FINGERPRINTS: Dict[str, Callable[[], Tuple]] = {
+    "cohort": _cohort_runner_fingerprint,
 }
 
 
@@ -154,6 +178,9 @@ class CampaignReport:
     #: Cells that produced no metrics, with per-seed failure records.
     failures: Dict[Tuple[str, str, int], List[CellFailure]] \
         = field(default_factory=dict)
+    #: Cell-cache stats block (hits/misses/stored/entries/directory),
+    #: or ``None`` when the campaign ran uncached.
+    cache: Optional[Dict] = None
 
 
 def _cell_summary(campaign: Campaign, cell: Tuple[str, str, int],
@@ -193,19 +220,27 @@ def run_campaign(campaign: Campaign, *,
                  store_dir: Optional[str] = None,
                  progress: Optional[Callable[[str], None]] = None,
                  workers: Optional[int] = None,
-                 task_progress: Optional[Callable[[str], None]] = None
+                 task_progress: Optional[Callable[[str], None]] = None,
+                 cache: Union[None, bool, str, CampaignCellCache] = None,
+                 cache_dir: Optional[str] = None
                  ) -> CampaignReport:
     """Execute every cell of the grid (replicated across seeds).
 
     ``workers=None``/``0`` runs serially in-process; ``workers>=1``
-    shards the (cell, seed) tasks across that many worker processes
-    via :mod:`repro.experiments.parallel`.  The two paths are
+    runs the (cell, seed) tasks batched on the shared warm worker
+    pool via :mod:`repro.experiments.parallel`.  The two paths are
     contractually identical: same metrics, same trace digests (see
     ``tests/test_determinism.py``).  A cell whose runner raises — or
     kills its worker — is recorded in ``report.failures`` and the
     campaign continues.
+
+    ``cache``/``cache_dir`` engage the content-addressed cell cache
+    (:mod:`repro.experiments.cache`): re-running a campaign computes
+    only tasks whose (config, code) key is new and replays the rest
+    byte-identically; ``report.cache`` carries the hit/miss stats.
     """
     store = ResultStore(store_dir) if store_dir else None
+    cell_cache = resolve_cell_cache(cache, cache_dir)
     report = CampaignReport(campaign=campaign)
     announced = set()
 
@@ -217,7 +252,9 @@ def run_campaign(campaign: Campaign, *,
 
     tasks = plan_tasks(campaign)
     outcomes = run_tasks(tasks, workers=workers or 0,
-                         progress=task_progress)
+                         progress=task_progress, cache=cell_cache)
+    if cell_cache is not None:
+        report.cache = cell_cache.report()
     by_cell: Dict[Tuple[str, str, int], List[TaskOutcome]] = {}
     for outcome in outcomes:  # plan order ⇒ seeds stay ordered
         by_cell.setdefault(outcome.task.cell, []).append(outcome)
@@ -283,4 +320,11 @@ def render_report(report: CampaignReport,
         blocks.append("\n## failed cells\n" + format_table(
             ["pipeline", "config", "clients", "seed", "kind",
              "error"], rows))
+    if report.cache is not None:
+        cache = report.cache
+        blocks.append(
+            "\n## cell cache\n"
+            f"hits={cache['hits']} misses={cache['misses']} "
+            f"stored={cache['stored']} corrupt={cache['corrupt']} "
+            f"entries={cache['entries']} dir={cache['directory']}")
     return "\n".join(blocks)

@@ -1,4 +1,4 @@
-"""Sharded, crash-isolated campaign execution.
+"""Sharded, crash-isolated, cache-aware campaign execution.
 
 A campaign grid (pipelines × placements × client counts × seeds) is
 embarrassingly parallel: every *(cell, seed)* task builds its own
@@ -12,22 +12,43 @@ observation into a runner:
   (round-robin), so a given ``(plan, workers)`` pair always produces
   the same shard assignment;
 * :func:`run_tasks` executes a plan either in-process (``workers=0``)
-  or across a ``ProcessPoolExecutor`` (``workers>=1``), with per-task
-  progress reporting and crash isolation: a task that raises is
-  recorded as a :class:`CellFailure`, and a task that *kills its
-  worker* (breaking the pool) is quarantined — every other in-flight
-  task is retried in a fresh pool, and only the lethal task is marked
-  failed.
+  or across a **warm, persistent** ``ProcessPoolExecutor``
+  (``workers>=1``) that survives across calls, so back-to-back
+  campaigns in one process pay worker spawn exactly once
+  (:func:`warm_pool` / :func:`shutdown_pool` manage it explicitly).
+  Tasks are submitted in *batches* — round-robin chunks of the plan
+  rather than one future per task — and each batch ships its results
+  back as one compact zlib-compressed pickle, collapsing the
+  per-task IPC round-trips that made fine-grained sharding lose to
+  serial execution on small grids.
+
+Crash isolation is unchanged: a task that raises is recorded as a
+:class:`CellFailure`, and a task that *kills its worker* (breaking
+the pool) is quarantined — every batch in flight when the pool broke
+is retried task-by-task in fresh solo pools, so only the genuinely
+lethal task is marked failed (and the persistent pool is discarded,
+to be respawned clean on the next call).
+
+When a :class:`~repro.experiments.cache.CampaignCellCache` is passed,
+tasks are looked up *before* submission — hits are returned
+immediately as ``cached`` outcomes without touching a worker — and
+only clean, non-quarantined outcomes are admitted afterwards, so
+failures can never poison the cache.
 
 The determinism contract — same seed ⇒ identical metrics and identical
 :class:`~repro.sim.kernel.TraceDigest` fingerprint regardless of
-worker count, scheduling order, or process boundary — is enforced by
-``tests/test_determinism.py`` against this module.
+worker count, batching, caching, scheduling order, or process
+boundary — is enforced by ``tests/test_determinism.py`` against this
+module.
 """
 
 from __future__ import annotations
 
+import gc
+import os
+import pickle
 import traceback
+import zlib
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -37,6 +58,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 Cell = Tuple[str, str, int]
 
 Progress = Optional[Callable[[str], None]]
+
+#: Target number of submission batches per worker.  >1 so a slow batch
+#: does not leave siblings idle near the end of a campaign; small so a
+#: 24-task grid still needs ~an order of magnitude fewer IPC
+#: round-trips than one-future-per-task (measured best at 2 on both
+#: 1-core and 4-core boxes — see benchmarks/bench_parallel_campaign).
+BATCHES_PER_WORKER = 2
 
 
 @dataclass(frozen=True)
@@ -76,11 +104,19 @@ class CellFailure:
 
 @dataclass(frozen=True)
 class TaskOutcome:
-    """Result (or failure) of one task, in plan order."""
+    """Result (or failure) of one task, in plan order.
+
+    ``cached`` marks a summary replayed from the campaign cell cache;
+    ``quarantined`` marks a result recovered in a solo pool after a
+    pool breakage (correct, but never admitted to the cache — the
+    no-poisoning policy treats the whole casualty set as suspect).
+    """
 
     task: CellTask
     summary: Optional[Dict] = None
     failure: Optional[CellFailure] = None
+    cached: bool = False
+    quarantined: bool = False
 
     @property
     def ok(self) -> bool:
@@ -146,18 +182,59 @@ def _execute(task: CellTask) -> Tuple:
                 traceback.format_exc())
 
 
-def _outcome(task: CellTask, payload: Tuple) -> TaskOutcome:
+def _execute_batch(tasks: Sequence[CellTask]) -> bytes:
+    """Run a batch of tasks in one worker; ship results compactly.
+
+    The payload list is pickled once and zlib-compressed, so a batch
+    of N cells costs one IPC round-trip and one (small) transfer
+    instead of N — summaries are highly redundant JSON-ish dicts that
+    compress well.  Per-task crash isolation is preserved because
+    :func:`_execute` never raises; only a worker *death* (SIGKILL,
+    OOM) loses the batch, and the quarantine pass re-runs those tasks
+    individually.
+
+    The cyclic GC is deferred for the duration of the batch: simulator
+    cells allocate furiously, and paying thousands of incremental
+    gen-0 scans per task is pure overhead in a disposable worker whose
+    live heap is bounded by one batch.  Refcount reclamation (the bulk
+    of the sim's garbage) is unaffected; a *young-generation* collect
+    between batches frees the batch's cycles without tracing the
+    fork-inherited heap (a full ``gc.collect`` would touch every
+    inherited object and copy-on-write-fault the parent's pages —
+    measurably slower than leaving gc on).
+    """
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        payloads = [_execute(task) for task in tasks]
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+            gc.collect(0)
+    return zlib.compress(
+        pickle.dumps(payloads, protocol=pickle.HIGHEST_PROTOCOL), 1)
+
+
+def _decode_batch(blob: bytes) -> List[Tuple]:
+    return pickle.loads(zlib.decompress(blob))
+
+
+def _outcome(task: CellTask, payload: Tuple, *,
+             quarantined: bool = False) -> TaskOutcome:
     if payload[0] == "ok":
-        return TaskOutcome(task=task, summary=payload[1])
+        return TaskOutcome(task=task, summary=payload[1],
+                           quarantined=quarantined)
     return TaskOutcome(task=task, failure=CellFailure(
         task=task, kind="exception", error=payload[1],
-        traceback=payload[2]))
+        traceback=payload[2]), quarantined=quarantined)
 
 
 def _lost_worker(task: CellTask) -> TaskOutcome:
     return TaskOutcome(task=task, failure=CellFailure(
         task=task, kind="worker-lost",
-        error="worker process died while executing this task"))
+        error="worker process died while executing this task"),
+        quarantined=True)
 
 
 class _Reporter:
@@ -172,10 +249,82 @@ class _Reporter:
         self._done += 1
         if self._progress is None:
             return
-        status = "ok" if outcome.ok else \
-            f"FAILED ({outcome.failure.kind})"
+        if outcome.ok:
+            status = "ok (cached)" if outcome.cached else "ok"
+        else:
+            status = f"FAILED ({outcome.failure.kind})"
         self._progress(f"[{self._done}/{self._total}] "
                        f"{outcome.task}: {status}")
+
+
+# ----------------------------------------------------------------------
+# Warm, persistent worker pool
+# ----------------------------------------------------------------------
+_POOL: Optional[ProcessPoolExecutor] = None
+_POOL_WORKERS = 0
+
+
+def effective_workers(workers: int) -> int:
+    """Pool size actually used for a ``workers``-way request.
+
+    Worker processes beyond the core count cannot add throughput —
+    they only add scheduler churn, copy-on-write page duplication and
+    redundant per-process caches, which is how the original
+    one-future-per-task runner managed to *lose* to serial execution
+    (0.83× on a 1-core box).  Requests are therefore capped at
+    ``os.cpu_count()``.  An *explicitly* warmed pool of exactly the
+    requested size overrides the cap (:func:`warm_pool` is operator
+    intent — tests use it to force real multi-process fan-out on
+    small boxes).  Results are bit-identical at any pool size; this
+    is a wall-clock policy only.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if _POOL is not None and _POOL_WORKERS == workers:
+        return workers
+    return max(1, min(workers, os.cpu_count() or workers))
+
+
+def warm_pool(workers: int) -> ProcessPoolExecutor:
+    """Return the shared pool, (re)spawning it at ``workers`` size.
+
+    The pool persists across :func:`run_tasks` calls, so consecutive
+    campaigns (or a benchmark's timed region) reuse already-forked
+    workers instead of paying spawn + import cost per run.  Resizing
+    replaces the pool.  NOTE for tests that monkeypatch
+    :data:`repro.experiments.campaign.RUNNERS`: forked workers freeze
+    module state at spawn time — call :func:`shutdown_pool` around
+    such patches so later campaigns do not inherit stale fakes.
+    """
+    global _POOL, _POOL_WORKERS
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if _POOL is not None and _POOL_WORKERS == workers:
+        return _POOL
+    shutdown_pool()
+    _POOL = ProcessPoolExecutor(max_workers=workers)
+    _POOL_WORKERS = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Shut the shared pool down (idempotent)."""
+    global _POOL, _POOL_WORKERS
+    if _POOL is not None:
+        _POOL.shutdown(wait=True, cancel_futures=True)
+    _POOL = None
+    _POOL_WORKERS = 0
+
+
+def _discard_broken_pool() -> None:
+    """Forget a pool that broke; a later call respawns it clean."""
+    global _POOL, _POOL_WORKERS
+    pool, _POOL, _POOL_WORKERS = _POOL, None, 0
+    if pool is not None:
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
 
 
 def _quarantine(tasks: List[Tuple[int, CellTask]],
@@ -187,22 +336,74 @@ def _quarantine(tasks: List[Tuple[int, CellTask]],
         try:
             with ProcessPoolExecutor(max_workers=1) as solo:
                 payload = solo.submit(_execute, task).result()
-            outcomes[index] = _outcome(task, payload)
+            outcomes[index] = _outcome(task, payload, quarantined=True)
         except BrokenProcessPool:
             outcomes[index] = _lost_worker(task)
         reporter.report(outcomes[index])
 
 
+def _run_batched(pending: List[Tuple[int, CellTask]], workers: int,
+                 outcomes: Dict[int, TaskOutcome],
+                 reporter: _Reporter) -> None:
+    """Execute ``pending`` on the warm pool in round-robin batches."""
+    workers = effective_workers(workers)
+    n_batches = max(1, min(len(pending), workers * BATCHES_PER_WORKER))
+    batches = [pending[offset::n_batches] for offset in range(n_batches)
+               if pending[offset::n_batches]]
+    pool = warm_pool(workers)
+    casualties: List[Tuple[int, CellTask]] = []
+    broken = False
+    try:
+        futures = {}
+        for batch in batches:
+            try:
+                future = pool.submit(
+                    _execute_batch, tuple(task for _, task in batch))
+            except BrokenProcessPool:
+                # Pool died between batches: everything not yet
+                # submitted goes straight to quarantine.
+                casualties.extend(batch)
+                broken = True
+                continue
+            futures[future] = batch
+        for future in as_completed(futures):
+            batch = futures[future]
+            try:
+                payloads = _decode_batch(future.result())
+            except BrokenProcessPool:
+                # Either a task in this batch killed its worker or the
+                # batch is collateral damage of another one doing so;
+                # the quarantine pass below tells the two apart.
+                casualties.extend(batch)
+                broken = True
+                continue
+            for (index, task), payload in zip(batch, payloads):
+                outcomes[index] = _outcome(task, payload)
+                reporter.report(outcomes[index])
+    finally:
+        if broken:
+            _discard_broken_pool()
+    casualties.sort(key=lambda pair: pair[0])
+    _quarantine(casualties, outcomes, reporter)
+
+
 def run_tasks(tasks: Sequence[CellTask], *, workers: int = 0,
-              progress: Progress = None) -> List[TaskOutcome]:
+              progress: Progress = None,
+              cache=None) -> List[TaskOutcome]:
     """Execute a plan and return one outcome per task, in plan order.
 
     ``workers=0`` runs every task in-process (serial); ``workers>=1``
-    shards across that many processes.  Either way the returned list
-    is ordered and keyed by the plan, so downstream aggregation is
-    independent of completion order.  Duplicate submissions are
+    runs batched on the shared warm pool.  Either way the returned
+    list is ordered and keyed by the plan, so downstream aggregation
+    is independent of completion order.  Duplicate submissions are
     refused: the first occurrence runs, later ones are recorded as
     ``"duplicate"`` failures.
+
+    ``cache`` (a :class:`~repro.experiments.cache.CampaignCellCache`)
+    short-circuits tasks whose key is already stored — their outcomes
+    come back ``cached=True`` without touching a worker — and admits
+    every clean, non-quarantined fresh outcome afterwards.  Failures
+    and quarantine survivors are never admitted.
     """
     if workers < 0:
         raise ValueError(f"workers must be >= 0, got {workers}")
@@ -223,29 +424,33 @@ def run_tasks(tasks: Sequence[CellTask], *, workers: int = 0,
         first_index[task] = index
         runnable.append((index, task))
 
-    if workers == 0:
+    pending: List[Tuple[int, CellTask]] = []
+    if cache is not None:
         for index, task in runnable:
+            summary = cache.get(task)
+            if summary is not None:
+                outcomes[index] = TaskOutcome(task=task, summary=summary,
+                                              cached=True)
+                reporter.report(outcomes[index])
+            else:
+                pending.append((index, task))
+    else:
+        pending = runnable
+
+    if workers == 0:
+        for index, task in pending:
             outcomes[index] = _outcome(task, _execute(task))
             reporter.report(outcomes[index])
-        return [outcomes[index] for index in range(len(tasks))]
+    elif pending:
+        _run_batched(pending, workers, outcomes, reporter)
 
-    casualties: List[Tuple[int, CellTask]] = []
-    with ProcessPoolExecutor(
-            max_workers=min(workers, max(1, len(runnable)))) as pool:
-        futures = {pool.submit(_execute, task): (index, task)
-                   for index, task in runnable}
-        for future in as_completed(futures):
-            index, task = futures[future]
-            try:
-                payload = future.result()
-            except BrokenProcessPool:
-                # Either this task killed its worker or it is
-                # collateral damage of another task doing so; the
-                # quarantine pass below tells the two apart.
-                casualties.append((index, task))
-                continue
-            outcomes[index] = _outcome(task, payload)
-            reporter.report(outcomes[index])
-    casualties.sort(key=lambda pair: pair[0])
-    _quarantine(casualties, outcomes, reporter)
+    if cache is not None:
+        # Admission policy: clean, fresh, non-quarantined results only
+        # — a failure (or anything adjacent to a dead worker) must
+        # never become a future campaign's "truth".
+        for index, _task in pending:
+            outcome = outcomes[index]
+            if outcome.ok and not outcome.quarantined:
+                cache.put(outcome.task, outcome.summary)
+
     return [outcomes[index] for index in range(len(tasks))]

@@ -19,6 +19,32 @@ from typing import Dict, List, Optional, Union
 PathLike = Union[str, pathlib.Path]
 
 
+def atomic_write_text(path: PathLike, payload: str) -> pathlib.Path:
+    """Write ``payload`` to ``path`` atomically (write-temp + rename).
+
+    The temp file lives in the target's directory so ``os.replace`` is
+    a same-filesystem rename: concurrent writers race benignly (last
+    rename wins, every observable file is complete) and a crashed
+    writer leaves at most an orphaned ``.tmp`` file, never a truncated
+    entry.  Shared by :class:`ResultStore` and the campaign cell cache
+    (:mod:`repro.experiments.cache`).
+    """
+    path = pathlib.Path(path)
+    handle, temp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp")
+    try:
+        with os.fdopen(handle, "w") as temp_file:
+            temp_file.write(payload)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
 def summarize_result(result) -> Dict:
     """Flatten an ExperimentResult into JSON-serializable primitives."""
     return {
@@ -85,23 +111,10 @@ class ResultStore:
         """Summarize and persist a result under ``name`` (atomic)."""
         summary = (result if isinstance(result, dict)
                    else summarize_result(result))
-        path = self._path(name)
         # Serialize before touching the filesystem so a failure here
         # leaves any previous entry untouched.
         payload = json.dumps(summary, indent=2, sort_keys=True)
-        handle, temp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=f".{name}.", suffix=".tmp")
-        try:
-            with os.fdopen(handle, "w") as temp_file:
-                temp_file.write(payload)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
-        return path
+        return atomic_write_text(self._path(name), payload)
 
     def merge(self, source: Union["ResultStore", PathLike], *,
               overwrite: bool = True) -> List[str]:

@@ -7,13 +7,17 @@ change::
 
 The script replays the contract campaign twice (refusing to write if
 the two replays disagree — that would mean nondeterminism, which a
-golden file cannot paper over) and rewrites
+golden file cannot paper over), then replays it a third time through
+the content-addressed cell cache (refusing to write if the cached
+replay disagrees — a golden regenerated past a broken cache would pin
+the wrong digests), and rewrites
 ``tests/golden/determinism_digests.json``.
 """
 
 import json
 import pathlib
 import sys
+import tempfile
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve()
                        .parents[2] / "src"))
@@ -30,6 +34,16 @@ from tests.test_determinism import (  # noqa: E402
 )
 
 
+def _cached_replay(campaign):
+    """Digests of a cold cache-on run, then of a fully-cached rerun."""
+    with tempfile.TemporaryDirectory(prefix="regen-cells-") as cells:
+        cold = run_campaign(campaign, cache_dir=cells)
+        warm = run_campaign(campaign, cache_dir=cells)
+        tasks = len(campaign.cells) * len(campaign.seeds)
+        assert warm.cache["hits"] == tasks, "rerun was not fully cached"
+        return _digest_map(cold), _digest_map(warm)
+
+
 def _regenerate(campaign, path) -> bool:
     first = _digest_map(run_campaign(campaign))
     second = _digest_map(run_campaign(campaign))
@@ -37,6 +51,13 @@ def _regenerate(campaign, path) -> bool:
         print(f"FATAL: two back-to-back runs of {campaign.name} "
               "disagree — the kernel is nondeterministic; fix that "
               "before regenerating.")
+        return False
+    cold, warm = _cached_replay(campaign)
+    if cold != first or warm != first:
+        print(f"FATAL: the cell-cache replay of {campaign.name} "
+              "disagrees with the uncached run — fix the cache before "
+              "regenerating (a golden written past a broken cache "
+              "would pin the wrong digests).")
         return False
     path.write_text(json.dumps(
         {"campaign": campaign.name,

@@ -8,6 +8,9 @@ or process boundary.  This file enforces it three ways:
   campaign must agree bit-for-bit;
 * back-to-back serial runs in one process must agree (replay
   stability — no hidden global state);
+* a cache-warm rerun (every cell replayed from the content-addressed
+  cell cache) must agree with both, and with the goldens — caching is
+  the third leg of the contract: serial ≡ sharded ≡ cached;
 * digests must match the committed golden file
   (``tests/golden/determinism_digests.json``), catching
   cross-version drift.  If a PR *intentionally* changes simulation
@@ -116,6 +119,45 @@ def test_digests_match_committed_golden_file(serial_report):
         "is intentional, regenerate the golden file with "
         "`python tests/golden/regenerate_determinism.py` and commit "
         "it; otherwise the determinism contract has been broken.")
+
+
+# ----------------------------------------------------------------------
+# Cell cache vs the contract: serial = sharded = cached, bit-for-bit
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workers",
+                         tuple(dict.fromkeys((0,) + _worker_counts())))
+def test_cached_rerun_matches_serial_and_golden(serial_report,
+                                                workers, tmp_path):
+    """Three-way contract: a cold cache-on run and a fully-cached
+    rerun both reproduce the uncached serial digests and metrics
+    exactly, at every worker count, and still match the goldens."""
+    cache_dir = str(tmp_path / "cells")
+    tasks = (len(CONTRACT_CAMPAIGN.cells)
+             * len(CONTRACT_CAMPAIGN.seeds))
+
+    cold = run_campaign(CONTRACT_CAMPAIGN, workers=workers,
+                        cache_dir=cache_dir)
+    assert not cold.failures
+    assert cold.cache["misses"] == tasks
+    assert cold.cache["stored"] == tasks
+    # Turning the cache *on* must not perturb a cold run...
+    assert _digest_map(cold) == _digest_map(serial_report)
+    assert _metric_map(cold) == _metric_map(serial_report)
+
+    warm = run_campaign(CONTRACT_CAMPAIGN, workers=workers,
+                        cache_dir=cache_dir)
+    assert not warm.failures
+    assert warm.cache["hits"] == tasks
+    assert warm.cache["misses"] == 0
+    assert warm.cache["stored"] == 0
+    # ...and a replayed run is bit-identical to a computed one.
+    assert _digest_map(warm) == _digest_map(serial_report)
+    assert _metric_map(warm) == _metric_map(serial_report)
+
+    golden = json.loads(GOLDEN_PATH.read_text())
+    assert _digest_map(warm) == golden["digests"], (
+        "Cache-replayed digests drifted from the committed goldens — "
+        "the cell cache returned something a recompute would not.")
 
 
 # ----------------------------------------------------------------------

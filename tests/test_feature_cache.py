@@ -16,7 +16,12 @@ import pytest
 
 from repro.experiments import campaign as campaign_mod
 from repro.experiments.campaign import Campaign
-from repro.experiments.parallel import plan_tasks, run_tasks
+from repro.experiments.parallel import (
+    plan_tasks,
+    run_tasks,
+    shutdown_pool,
+    warm_pool,
+)
 from repro.vision.cache import (
     DISABLE_ENV,
     FeatureCache,
@@ -237,7 +242,15 @@ def test_worker_caches_are_isolated_per_process(monkeypatch):
         name="iso", pipelines=("scatter",), placements=("C1",),
         client_counts=(1, 2), duration_s=0.1,
         seeds=(0, 1, 2, 3))
-    outcomes = run_tasks(plan_tasks(campaign), workers=4)
+    # The probe needs (a) workers forked *after* the monkeypatch —
+    # drop any earlier pool — and (b) a genuine multi-worker fan-out,
+    # so warm an exact-size pool (overrides the cpu-count cap).
+    shutdown_pool()
+    warm_pool(4)
+    try:
+        outcomes = run_tasks(plan_tasks(campaign), workers=4)
+    finally:
+        shutdown_pool()
     assert all(outcome.ok for outcome in outcomes)
 
     by_pid = {}

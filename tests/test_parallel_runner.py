@@ -20,16 +20,32 @@ import pytest
 
 from repro.experiments import campaign as campaign_mod
 from repro.experiments.campaign import Campaign, render_report, run_campaign
+from repro.experiments import parallel as parallel_mod
 from repro.experiments.parallel import (
     CellTask,
     plan_tasks,
     run_tasks,
     shard_tasks,
+    shutdown_pool,
+    warm_pool,
 )
 
 pytestmark = pytest.mark.skipif(
     multiprocessing.get_start_method() != "fork",
     reason="fake-runner injection into pool workers requires fork")
+
+
+@pytest.fixture(autouse=True)
+def fresh_pool():
+    """Drop the persistent pool around every test.
+
+    Pool workers freeze ``RUNNERS`` at fork time, so a pool warmed
+    before a monkeypatch would run the *real* runners — and a pool
+    forked with this file's fakes would leak them into later tests.
+    """
+    shutdown_pool()
+    yield
+    shutdown_pool()
 
 
 def fake_runner(placement, *, num_clients, duration_s, seed):
@@ -161,6 +177,64 @@ def test_killed_worker_marked_lost_others_survive(monkeypatch):
     assert [f.kind for f in failures] == ["worker-lost"]
     assert ("scatter", "C1", 1) in report.cells
     assert report.cells[("scatter", "C1", 1)]["fps"].mean == 29.0
+
+
+# ----------------------------------------------------------------------
+# Batched submission on the warm pool
+# ----------------------------------------------------------------------
+def test_batched_submission_preserves_plan_order(fake_pipeline):
+    """Round-robin batching must not reorder outcomes: position i of
+    the result always belongs to task i of the plan."""
+    campaign = tiny_campaign(placements=("C2", "C1"),
+                             client_counts=(1, 2, 3), seeds=(0, 1))
+    tasks = plan_tasks(campaign)
+    warm_pool(2)
+    outcomes = run_tasks(tasks, workers=2)
+    assert [outcome.task for outcome in outcomes] == tasks
+    assert all(outcome.ok for outcome in outcomes)
+    digests = [outcome.summary["trace_digest"] for outcome in outcomes]
+    assert digests == [
+        f"digest-{t.placement}-{t.clients}c-s{t.seed}" for t in tasks]
+
+
+def test_sigkill_in_batch_quarantines_only_the_lethal_tasks(
+        monkeypatch):
+    """A SIGKILL takes down its whole batch, but quarantine retries the
+    casualties one at a time: healthy batchmates still produce results
+    and only the lethal tasks end up ``worker-lost``."""
+    monkeypatch.setitem(campaign_mod.RUNNERS, "scatter",
+                        killer_runner)
+    campaign = tiny_campaign(placements=("C2", "C1"),
+                             client_counts=(1, 2, 3), seeds=(0,))
+    tasks = plan_tasks(campaign)
+    warm_pool(2)  # 6 tasks across 4 batches: killers share batches
+    outcomes = run_tasks(tasks, workers=2)
+    assert [outcome.task for outcome in outcomes] == tasks
+    for outcome in outcomes:
+        if outcome.task.placement == "C2":
+            assert not outcome.ok
+            assert outcome.failure.kind == "worker-lost"
+            assert outcome.quarantined
+        else:
+            assert outcome.ok, outcome.failure
+            assert outcome.summary["fps"] == 30.0 - outcome.task.clients
+
+
+def test_pool_reuse_across_run_tasks_calls_leaks_no_state(
+        fake_pipeline):
+    """Consecutive ``run_tasks`` calls share one warm pool and stay
+    independent: identical results, no carried-over outcomes."""
+    warm_pool(2)
+    tasks = plan_tasks(tiny_campaign())
+    first = run_tasks(tasks, workers=2)
+    pool = parallel_mod._POOL
+    assert pool is not None
+    second = run_tasks(tasks, workers=2)
+    assert parallel_mod._POOL is pool  # reused, not respawned
+    assert len(first) == len(second) == len(tasks)
+    assert [o.summary for o in first] == [o.summary for o in second]
+    assert all(o.ok and not o.quarantined and not o.cached
+               for o in first + second)
 
 
 # ----------------------------------------------------------------------
