@@ -467,6 +467,8 @@ def cmd_capacity(args: argparse.Namespace) -> int:
 
 
 def cmd_optimize(args: argparse.Namespace) -> int:
+    if args.budget is not None:
+        return _cmd_optimize_search(args)
     from repro.orchestra.placement import PlacementOptimizer
 
     optimizer = PlacementOptimizer(
@@ -481,6 +483,56 @@ def cmd_optimize(args: argparse.Namespace) -> int:
     print(f"\nbest by {args.objective}: {best.placement.name} "
           f"(pred {best.throughput_fps:.0f} FPS, "
           f"{best.e2e_ms:.1f} ms)")
+    return 0
+
+
+def _cmd_optimize_search(args: argparse.Namespace) -> int:
+    """The simulation-backed genetic search (``--budget N``)."""
+    import json as json_module
+
+    from repro.orchestra.optimize import OptimizeConfig, run_search
+
+    ladder = tuple(int(part) for part in args.clients.split(","))
+    generations = args.generations
+    if generations is None:
+        # Enough generations to spend the budget at this population.
+        generations = max(1, -(-args.budget // args.population) - 1)
+    config = OptimizeConfig(
+        name="cli-optimize", seed=args.seed,
+        population=args.population, generations=generations,
+        budget=args.budget, ladder=ladder, duration_s=args.duration,
+        workers=args.workers,
+        machines=tuple(args.machines.split(",")))
+    print(f"searching: budget={args.budget} genomes, "
+          f"population={config.population}, "
+          f"generations={config.generations}, ladder={list(ladder)}, "
+          f"duration={config.duration_s:g}s, seed={config.seed}")
+    report = run_search(config, cache=args.cache_dir)
+    rows = [[entry["genome"],
+             entry["objectives"]["capacity"],
+             f"{entry['objectives']['p95_ms']:.1f}",
+             f"{entry['objectives']['joules_per_frame']:.1f}",
+             f"{entry['objectives']['cost_units']:.0f}"]
+            for entry in report.front]
+    print(format_table(
+        ["genome", "capacity", "p95(ms)", "J/frame", "cost"], rows))
+    best = report.best()
+    if best is not None:
+        print(f"\nbest: {best['genome']} "
+              f"(capacity {best['objectives']['capacity']}, "
+              f"p95 {best['objectives']['p95_ms']:.1f} ms, "
+              f"{best['objectives']['joules_per_frame']:.1f} J/frame)")
+    print(f"evaluations: {report.evaluations}, "
+          f"front digest: {report.front_digest()}")
+    if report.cache is not None:
+        cache = report.cache
+        print(f"cell cache: hits={cache['hits']} "
+              f"misses={cache['misses']} stored={cache['stored']}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json_module.dump(report.as_dict(), handle, indent=2,
+                             sort_keys=True)
+        print(f"report written to {args.json}")
     return 0
 
 
@@ -648,14 +700,41 @@ def build_parser() -> argparse.ArgumentParser:
                                "(bit-identical results)")
 
     optimize = sub.add_parser(
-        "optimize", help="search placements analytically")
+        "optimize",
+        help="search placements (analytic by default; --budget N "
+             "runs the simulation-backed genetic search)")
     optimize.add_argument("--machines", default="e1,e2",
                           help="comma-separated machine set")
     optimize.add_argument("--objective",
-                          choices=("throughput", "latency"),
+                          choices=("throughput", "latency", "energy"),
                           default="throughput")
     optimize.add_argument("--top", type=int, default=8,
                           help="how many candidates to print")
+    optimize.add_argument("--budget", type=int, default=None,
+                          help="genome evaluation budget: run the "
+                               "multi-objective search against the "
+                               "simulator instead of the analytic "
+                               "model")
+    optimize.add_argument("--seed", type=int, default=0,
+                          help="search seed (same seed = bit-identical "
+                               "Pareto front)")
+    optimize.add_argument("--population", type=int, default=8,
+                          help="genomes per generation")
+    optimize.add_argument("--generations", type=int, default=None,
+                          help="generations (default: sized to spend "
+                               "the budget)")
+    optimize.add_argument("--clients", default="1,2,3,4",
+                          help="capacity probe ladder, e.g. 1,2,3,4")
+    optimize.add_argument("--duration", type=float, default=4.0,
+                          help="virtual seconds per oracle cell")
+    optimize.add_argument("--workers", type=int, default=0,
+                          help="campaign workers for oracle cells")
+    optimize.add_argument("--cache-dir", default=None,
+                          help="cell cache directory (revisited "
+                               "genomes replay instead of "
+                               "re-simulating)")
+    optimize.add_argument("--json", default=None,
+                          help="write the OptimizationReport here")
 
     return parser
 

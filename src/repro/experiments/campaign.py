@@ -35,6 +35,7 @@ from repro.experiments.repetition import (
     ReplicatedMetric,
     aggregate_summaries,
 )
+from repro.experiments.oracle import run_optimize_experiment
 from repro.experiments.reporting import format_table
 from repro.experiments.runner import (
     run_cohort_experiment,
@@ -83,6 +84,7 @@ RUNNERS: Dict[str, Callable] = {
     "scatterpp-flow": run_scatterpp_flow_experiment,
     "mobility": run_mobility_experiment,
     "cohort": run_cohort_campaign_cell,
+    "optimize": run_optimize_experiment,
 }
 
 
@@ -101,17 +103,41 @@ def _cohort_runner_fingerprint() -> Tuple:
     return (DEFAULT_COHORT_MULTIPLIER, repr(default_flow_config()))
 
 
+def _optimize_runner_fingerprint() -> Tuple:
+    """Config the optimizer oracle injects beyond the task.
+
+    The default flow config and the power model parameterize every
+    oracle cell without appearing in its :class:`CellTask`; folding
+    them in keeps the cache honest — editing a wattage misses instead
+    of replaying stale joules.  (The genome itself needs no entry: its
+    spec string *is* ``task.placement``, already fingerprinted.)
+    """
+    from repro.flow import default_flow_config
+    from repro.metrics.energy import DEFAULT_POWER_MODEL
+
+    return (repr(default_flow_config()), repr(DEFAULT_POWER_MODEL))
+
+
 #: pipeline -> () -> tuple of extra config the runner injects beyond
 #: the CellTask fields; folded into the cell-cache task fingerprint
 #: (:func:`repro.experiments.cache.task_fingerprint`).
 RUNNER_FINGERPRINTS: Dict[str, Callable[[], Tuple]] = {
     "cohort": _cohort_runner_fingerprint,
+    "optimize": _optimize_runner_fingerprint,
 }
 
 
 def resolve_placement(name: str) -> PlacementConfig:
-    """Resolve a placement by name (C1..C21, cloud, hybrid, or a
-    replica vector like ``1,2,2,1,2``)."""
+    """Resolve a placement by name (C1..C21, cloud, hybrid, a replica
+    vector like ``1,2,2,1,2``, or an optimizer genome spec like
+    ``opt:primary=e1;...``)."""
+    if name.startswith("opt:"):
+        # Genome specs resolve to a placement whose *name is the
+        # spec*, so the cell cache fingerprints the full genome —
+        # autoscaler genes included — via repr(resolved placement).
+        from repro.orchestra.optimize import Genome
+
+        return Genome.decode(name).to_placement()
     configs = baseline_configs()
     if name in configs:
         return configs[name]
@@ -177,6 +203,13 @@ class CampaignReport:
         = field(default_factory=dict)
     #: Cells that produced no metrics, with per-seed failure records.
     failures: Dict[Tuple[str, str, int], List[CellFailure]] \
+        = field(default_factory=dict)
+    #: (pipeline, placement, clients) -> raw per-seed summary dicts in
+    #: seed order.  ``cells`` keeps only the replicated scalar metrics
+    #: (:data:`~repro.experiments.repetition.REPLICATED_METRICS`);
+    #: consumers that need the full summary — the optimizer reads p95
+    #: latency and the energy block — get it here, uncompressed.
+    summaries: Dict[Tuple[str, str, int], List[Dict]] \
         = field(default_factory=dict)
     #: Cell-cache stats block (hits/misses/stored/entries/directory),
     #: or ``None`` when the campaign ran uncached.
@@ -275,6 +308,7 @@ def run_campaign(campaign: Campaign, *,
                    if o.digest is not None}
         report.cells[cell] = metrics
         report.digests[cell] = digests
+        report.summaries[cell] = [o.summary for o in cell_outcomes]
         if store is not None:
             store.save(campaign.cell_name(*cell),
                        _cell_summary(campaign, cell, metrics, digests))

@@ -1,0 +1,92 @@
+"""The optimizer's evaluation oracle: genome specs → campaign cells.
+
+Registered as the ``optimize`` pipeline in
+:data:`repro.experiments.campaign.RUNNERS`, so genome candidates ride
+the whole campaign stack — sharding across warm workers, failure
+quarantine, and the content-addressed cell cache — exactly like every
+characterization cell.
+
+One oracle cell is a scAtteR++ run with the default flow substrate
+(the best-performing configuration PR 5 pinned) plus, when the genome
+carries autoscaler genes, an app-aware :class:`~repro.orchestra.
+autoscaler.Autoscaler` attached through the ``post_deploy`` hook.
+After the run, the device/server energy model attributes joules and
+cost (:func:`repro.metrics.energy.energy_summary`) — post-hoc, from
+counters, moving zero events.
+
+Neutrality contract (pinned by ``tests/test_determinism.py``): a
+genome with no scaler genes — or a plain static placement name —
+walks a trajectory *byte-identical* to the ``scatterpp-flow`` runner's
+for the same placement, so the oracle inherits the serial ≡ sharded ≡
+cached determinism guarantee without new golden files.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.experiments.runner import (ExperimentResult,
+                                      run_scatterpp_experiment)
+from repro.orchestra.optimize import Genome, ScalerGenes, is_genome_spec
+from repro.scatter.config import PlacementConfig
+
+
+def _scaler_genes(placement: PlacementConfig
+                  ) -> Optional[ScalerGenes]:
+    """Autoscaler genes encoded in the placement's name, if any.
+
+    The genome's spec string *is* the placement name
+    (:meth:`~repro.orchestra.optimize.Genome.to_placement`), so the
+    scaler half survives the trip through the campaign layer — which
+    only ships placement names across worker boundaries.
+    """
+    if not is_genome_spec(placement.name):
+        return None
+    return Genome.decode(placement.name).scaler
+
+
+def run_optimize_experiment(
+        placement: PlacementConfig, *, num_clients: int,
+        duration_s: float, seed: int = 0,
+        **kwargs) -> ExperimentResult:
+    """One oracle cell: flow-on scAtteR++, optional autoscaler,
+    post-hoc energy attribution."""
+    from repro.flow import default_flow_config
+    from repro.metrics.energy import energy_summary
+    from repro.orchestra.autoscaler import (AppAwareScalingPolicy,
+                                            Autoscaler)
+
+    genes = _scaler_genes(placement)
+    attached = {}
+
+    def post_deploy(sim, orchestrator, pipeline):
+        policy = AppAwareScalingPolicy(
+            drop_ratio_threshold=genes.drop_ratio,
+            queue_depth_threshold=genes.queue_depth)
+        scaler = Autoscaler(orchestrator, policy,
+                            max_replicas=genes.max_replicas,
+                            placement_machine=genes.machine)
+        scaler.start()
+        attached["scaler"] = scaler
+
+    result = run_scatterpp_experiment(
+        placement, num_clients=num_clients, duration_s=duration_s,
+        seed=seed, flow=default_flow_config(),
+        post_deploy=post_deploy if genes is not None else None,
+        **kwargs)
+    result.energy = energy_summary(result)
+    scaler = attached.get("scaler")
+    if scaler is not None:
+        result.autoscaler = {
+            "genes": genes.as_dict(),
+            "decisions": [{"timestamp_s": d.timestamp_s,
+                           "service": d.service,
+                           "reason": d.reason,
+                           "replicas_after": d.replicas_after}
+                          for d in scaler.decisions],
+            "skipped": [{"timestamp_s": s.timestamp_s,
+                         "service": s.service,
+                         "reason": s.reason}
+                        for s in scaler.skipped],
+        }
+    return result

@@ -82,6 +82,16 @@ class ExperimentResult:
     #: capacity, and serialized latency sketches; present only for
     #: cohort runs (see :func:`run_cohort_experiment`).
     cohort: Optional[dict] = None
+    #: Post-hoc joules attribution (per stage / idle / device, plus
+    #: joules-per-frame and cost units) from
+    #: :func:`repro.metrics.energy.energy_summary`; present only for
+    #: optimizer-oracle runs.  Computed from counters after the run —
+    #: never part of the digest contract.
+    energy: Optional[dict] = None
+    #: Autoscaler activity (decisions + skipped candidates) when the
+    #: run had an :class:`~repro.orchestra.autoscaler.Autoscaler`
+    #: attached (optimizer-oracle runs with scaler genes on).
+    autoscaler: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Client QoS aggregates
@@ -310,7 +320,8 @@ def run_scatterpp_experiment(
         with_sidecars: bool = True,
         flow=None,
         tracing: bool = False,
-        profile: bool = False) -> ExperimentResult:
+        profile: bool = False,
+        post_deploy=None) -> ExperimentResult:
     """Deploy scAtteR++ (stateless sift + sidecars) and run clients.
 
     ``stateless_sift`` / ``with_sidecars`` exist for the component
@@ -318,6 +329,12 @@ def run_scatterpp_experiment(
     :class:`~repro.flow.FlowConfig`) engages the flow substrate on
     every sidecar *and* every client; ``None`` reproduces the paper's
     behaviour — and the golden trace digests — byte for byte.
+
+    ``post_deploy(sim, orchestrator, pipeline)`` runs after the
+    pipeline is deployed and before clients start — the hook the
+    optimizer oracle uses to attach an autoscaler.  ``None`` (the
+    default) leaves the trajectory byte-identical to a call without
+    the parameter.
     """
     from repro.scatterpp.analytics import SidecarAnalytics
     from repro.scatterpp.pipeline import scatterpp_pipeline_kwargs
@@ -335,6 +352,8 @@ def run_scatterpp_experiment(
         for instance in orchestrator.all_instances():
             analytics.watch(instance)
         analytics.start()
+    if post_deploy is not None:
+        post_deploy(sim, orchestrator, pipeline)
     tracer = _attach_tracer(orchestrator, clients) if tracing else None
     for client in clients:
         client.start(duration_s)

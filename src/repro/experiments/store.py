@@ -86,6 +86,15 @@ def summarize_result(result) -> Dict:
         # summaries can be folded back together losslessly
         # (:func:`repro.cohort.merge_cohort_dicts`).
         "cohort": getattr(result, "cohort", None),
+        # Post-hoc joules/cost attribution (per-stage, idle, device,
+        # joules-per-frame) from the energy model; None unless the
+        # run computed it (optimizer-oracle cells).  Carried in the
+        # summary so cached cells replay the optimizer's objectives
+        # without re-simulating.
+        "energy": getattr(result, "energy", None),
+        # Autoscaler decision/skip log for runs with a scaler
+        # attached; None otherwise.
+        "autoscaler": getattr(result, "autoscaler", None),
     }
 
 

@@ -23,10 +23,12 @@ from repro.metrics.summary import (CacheStats, SampleReservoir,
 __all__ = [
     "CacheStats",
     "ClientStats",
+    "DEFAULT_POWER_MODEL",
     "FaultRecovery",
     "HardwareMonitor",
     "HardwareSample",
     "PercentileSketch",
+    "PowerModel",
     "ResilienceReport",
     "SampleReservoir",
     "StageProfiler",
@@ -34,21 +36,36 @@ __all__ = [
     "Summary",
     "build_resilience_report",
     "default_profiler",
+    "deployment_watts",
+    "energy_summary",
     "merge_sketches",
     "safe_percentile",
+    "service_watts",
     "summarize",
 ]
 
-#: Lazily resolved: repro.metrics.resilience pulls in the chaos and
-#: orchestration layers, which themselves import low-level metrics
-#: modules — importing it eagerly here would close an import cycle.
-_LAZY = {"FaultRecovery", "ResilienceReport", "build_resilience_report"}
+#: Lazily resolved: these submodules pull in the chaos, orchestration,
+#: or scatter layers, which themselves import low-level metrics
+#: modules — importing them eagerly here would close an import cycle.
+#: Maps exported name -> owning submodule.
+_LAZY = {
+    "FaultRecovery": "resilience",
+    "ResilienceReport": "resilience",
+    "build_resilience_report": "resilience",
+    "DEFAULT_POWER_MODEL": "energy",
+    "PowerModel": "energy",
+    "deployment_watts": "energy",
+    "energy_summary": "energy",
+    "service_watts": "energy",
+}
 
 
 def __getattr__(name: str):
     if name in _LAZY:
-        from repro.metrics import resilience
+        import importlib
 
-        return getattr(resilience, name)
+        module = importlib.import_module(
+            f"repro.metrics.{_LAZY[name]}")
+        return getattr(module, name)
     raise AttributeError(
         f"module {__name__!r} has no attribute {name!r}")

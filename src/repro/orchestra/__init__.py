@@ -27,6 +27,18 @@ from repro.orchestra.health import (
     HealthState,
 )
 from repro.orchestra.migration import MigrationController
+from repro.orchestra.optimize import (
+    CampaignOracle,
+    Genome,
+    Objectives,
+    OptimizationReport,
+    OptimizeConfig,
+    OptimizeError,
+    PlacementSearch,
+    ScalerGenes,
+    SearchSpace,
+    run_search,
+)
 from repro.orchestra.orchestrator import Orchestrator, OrchestratorError
 from repro.orchestra.placement import PlacementOptimizer
 from repro.orchestra.scheduler import Scheduler, SchedulingError
@@ -35,16 +47,26 @@ from repro.orchestra.sla import ServiceSla
 __all__ = [
     "AppAwareScalingPolicy",
     "Autoscaler",
+    "CampaignOracle",
     "FailureDetector",
+    "Genome",
     "HardwareScalingPolicy",
     "HealthEvent",
     "HealthState",
     "MigrationController",
+    "Objectives",
+    "OptimizationReport",
+    "OptimizeConfig",
+    "OptimizeError",
     "Orchestrator",
     "OrchestratorError",
     "PlacementOptimizer",
+    "PlacementSearch",
+    "ScalerGenes",
     "Scheduler",
     "SchedulingError",
+    "SearchSpace",
     "ServiceSla",
     "least_loaded_balancer",
+    "run_search",
 ]

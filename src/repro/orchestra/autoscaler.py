@@ -28,7 +28,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol
 
 from repro.dsp.operator import StreamService
-from repro.orchestra.orchestrator import Orchestrator
+from repro.orchestra.orchestrator import Orchestrator, OrchestratorError
 from repro.orchestra.scheduler import SchedulingError
 
 
@@ -40,6 +40,20 @@ class ScalingDecision:
     service: str
     reason: str
     replicas_after: int
+
+
+@dataclass(frozen=True)
+class SkippedScale:
+    """One scale-up the autoscaler declined, kept for reporting.
+
+    Mirrors the fault injector's log-and-skip discipline: an
+    infeasible candidate (ghost service, power budget, no capacity) is
+    recorded and the loop moves on — it never raises out of the
+    simulation."""
+
+    timestamp_s: float
+    service: str
+    reason: str
 
 
 class ScalingPolicy(Protocol):
@@ -159,13 +173,18 @@ class Autoscaler:
                  policy: ScalingPolicy, *, interval_s: float = 5.0,
                  breaches_required: int = 2, cooldown_s: float = 10.0,
                  max_replicas: int = 4,
-                 placement_machine: Optional[str] = None):
+                 placement_machine: Optional[str] = None,
+                 power_budget_w: Optional[float] = None,
+                 power_model=None):
         if interval_s <= 0:
             raise ValueError(f"interval_s must be positive, got {interval_s}")
         if breaches_required < 1:
             raise ValueError("breaches_required must be >= 1")
         if max_replicas < 1:
             raise ValueError("max_replicas must be >= 1")
+        if power_budget_w is not None and power_budget_w <= 0:
+            raise ValueError(
+                f"power_budget_w must be positive, got {power_budget_w}")
         self.orchestrator = orchestrator
         self.policy = policy
         self.interval_s = interval_s
@@ -173,7 +192,13 @@ class Autoscaler:
         self.cooldown_s = cooldown_s
         self.max_replicas = max_replicas
         self.placement_machine = placement_machine
+        #: Deployment-wide watts ceiling: a scale-up whose projected
+        #: worst-case draw would cross it is logged and skipped.
+        #: Per-service ceilings come from the SLA's ``power_budget_w``.
+        self.power_budget_w = power_budget_w
+        self._power_model = power_model
         self.decisions: List[ScalingDecision] = []
+        self.skipped: List[SkippedScale] = []
         self._breaches: Dict[str, int] = {}
         self._cooldown_until: Dict[str, float] = {}
         self._running = False
@@ -189,8 +214,67 @@ class Autoscaler:
             yield self.orchestrator.sim.timeout(self.interval_s)
             self.evaluate()
 
+    def _skip(self, now: float, service: str, reason: str) -> None:
+        """Record one declined scale-up (log-and-skip, never raise)."""
+        self.skipped.append(SkippedScale(
+            timestamp_s=now, service=service, reason=reason))
+
+    def _power_veto(self, now: float, service: str) -> bool:
+        """Whether power ceilings forbid one more replica of
+        ``service``; the veto is logged.
+
+        Projected draw uses the energy model's worst-case accounting
+        (:func:`repro.metrics.energy.deployment_watts`), charging the
+        new replica at the pinned machine — or, absent a pin, at the
+        machine of the service's first live replica (an estimate; the
+        scheduler has not placed it yet).
+        """
+        from repro.metrics.energy import (DEFAULT_POWER_MODEL,
+                                          deployment_watts,
+                                          service_watts)
+
+        sla = self.orchestrator.sla_for(service)
+        service_budget = getattr(sla, "power_budget_w", None)
+        if self.power_budget_w is None and service_budget is None:
+            return False
+        model = (self._power_model if self._power_model is not None
+                 else DEFAULT_POWER_MODEL)
+        machine = self.placement_machine
+        if machine is None:
+            machine = (self.orchestrator.instances(service)[0]
+                       .container.machine.name)
+        replica_w = model.active_watts(machine, service)
+        if self.power_budget_w is not None:
+            projected = (deployment_watts(self.orchestrator, model)
+                         + replica_w)
+            if projected > self.power_budget_w:
+                self._skip(now, service,
+                           f"deployment power budget: projected "
+                           f"{projected:.0f} W > "
+                           f"{self.power_budget_w:.0f} W")
+                return True
+        if service_budget is not None:
+            projected = (service_watts(self.orchestrator, service,
+                                       model) + replica_w)
+            if projected > service_budget:
+                self._skip(now, service,
+                           f"service power budget: projected "
+                           f"{projected:.0f} W > "
+                           f"{service_budget:.0f} W")
+                return True
+        return False
+
     def evaluate(self) -> List[ScalingDecision]:
-        """One policy evaluation; scales at most the worst offender."""
+        """One policy evaluation; scales at most the worst offender.
+
+        Infeasible candidates — a flagged service with no live
+        replicas (a *ghost*: never deployed, or scaled/crashed down to
+        nothing between the policy's read and this evaluation), a
+        scale-up the power budget forbids, or one the scheduler or
+        orchestrator rejects — are logged to :attr:`skipped` and
+        passed over, mirroring the fault injector's log-and-skip
+        discipline.  ``evaluate`` never raises out of the loop.
+        """
         now = self.orchestrator.sim.now
         flagged = self.policy.services_to_scale(self.orchestrator)
         for service in self.orchestrator.services():
@@ -202,12 +286,18 @@ class Autoscaler:
 
         candidates = []
         for service, (severity, reason) in flagged.items():
+            if not self.orchestrator.instances(service):
+                self._skip(now, service,
+                           "no live replicas (ghost service)")
+                continue
             if self._breaches.get(service, 0) < self.breaches_required:
                 continue
             if now < self._cooldown_until.get(service, 0.0):
                 continue
             if len(self.orchestrator.instances(service)) \
                     >= self.max_replicas:
+                continue
+            if self._power_veto(now, service):
                 continue
             candidates.append((severity, service, reason))
         if not candidates:
@@ -217,7 +307,10 @@ class Autoscaler:
         try:
             self.orchestrator.scale_up(service,
                                        machine=self.placement_machine)
-        except SchedulingError:
+        except (SchedulingError, OrchestratorError) as error:
+            # No feasible machine, or the service vanished from the
+            # control plane since we looked: log and move on.
+            self._skip(now, service, f"scale_up failed: {error}")
             return []
         self._breaches[service] = 0
         self._cooldown_until[service] = now + self.cooldown_s

@@ -92,7 +92,8 @@ class Orchestrator:
             sla = ServiceSla(service=sla.service,
                              memory_bytes=sla.memory_bytes,
                              requires_gpu=sla.requires_gpu,
-                             machine=machine)
+                             machine=machine,
+                             power_budget_w=sla.power_budget_w)
         return self._deploy_one(sla, factory)
 
     def scale_down(self, service: str) -> None:
@@ -131,6 +132,11 @@ class Orchestrator:
     # ------------------------------------------------------------------
     def instances(self, service: str) -> List[StreamService]:
         return list(self._instances.get(service, []))
+
+    def sla_for(self, service: str) -> Optional[ServiceSla]:
+        """The SLA ``service`` was deployed with (``None`` if never
+        deployed) — read by energy-budgeted autoscaling."""
+        return self._slas.get(service)
 
     def retired_instances(self, service: str) -> List[StreamService]:
         """Replicas of ``service`` removed mid-run (audit trail)."""

@@ -47,6 +47,11 @@ class PlacementEstimate:
     placement: PlacementConfig
     throughput_fps: float
     e2e_ms: float
+    #: Predicted steady-state draw at capacity (idle + active), watts.
+    watts: float = 0.0
+    #: Predicted server joules per frame at capacity: active compute
+    #: joules plus the machine set's amortized idle draw.
+    joules_per_frame: float = 0.0
 
 
 class PlacementOptimizer:
@@ -119,13 +124,35 @@ class PlacementOptimizer:
                 latency += DEFAULT_HOP_S.get(
                     frozenset((machine_a, machine_b)), 0.002)
 
+        # Energy: active joules per frame from the same scaled compute
+        # times, idle draw amortized over predicted throughput (the
+        # energy model's tables, applied analytically).
+        from repro.metrics.energy import DEFAULT_POWER_MODEL
+
+        model = DEFAULT_POWER_MODEL
+        active_jpf = 0.0
+        for service in PIPELINE_ORDER:
+            machine = assignment[service]
+            base = self.service_times[service]
+            factor = (self.gpu_factors[machine]
+                      if scatter_config.SERVICE_USES_GPU[service]
+                      else self.cpu_factors[machine])
+            active_jpf += (base * factor
+                           * model.active_watts(machine, service))
+        idle_w = sum(model.idle_w[machine]
+                     for machine in sorted(set(assignment.values())))
+        watts = idle_w + active_jpf * throughput
+        joules_per_frame = active_jpf + idle_w / throughput
+
         name = "[" + ", ".join(
             assignment[s].upper() for s in PIPELINE_ORDER) + "]"
         placement = PlacementConfig(
             name, {s: [assignment[s]] for s in PIPELINE_ORDER})
         return PlacementEstimate(placement=placement,
                                  throughput_fps=throughput,
-                                 e2e_ms=latency * 1000.0)
+                                 e2e_ms=latency * 1000.0,
+                                 watts=watts,
+                                 joules_per_frame=joules_per_frame)
 
     def search(self) -> List[PlacementEstimate]:
         """Estimates for every assignment, best throughput first."""
@@ -145,6 +172,9 @@ class PlacementOptimizer:
         if objective == "latency":
             return min(estimates, key=lambda e: (e.e2e_ms,
                                                  -e.throughput_fps))
+        if objective == "energy":
+            return min(estimates, key=lambda e: (e.joules_per_frame,
+                                                 -e.throughput_fps))
         raise ValueError(
-            f"objective must be 'throughput' or 'latency', "
-            f"got {objective!r}")
+            f"objective must be 'throughput', 'latency', or "
+            f"'energy', got {objective!r}")

@@ -202,3 +202,116 @@ def test_autoscaler_validation():
         Autoscaler(orchestrator, StubPolicy({}), breaches_required=0)
     with pytest.raises(ValueError):
         Autoscaler(orchestrator, StubPolicy({}), max_replicas=0)
+
+
+# ----------------------------------------------------------------------
+# Ghost services: log-and-skip, never raise, never resurrect
+# ----------------------------------------------------------------------
+def test_autoscaler_skips_never_deployed_ghost():
+    """A policy flagging a service the orchestrator never deployed
+    must be logged and skipped, not raise out of the loop."""
+    sim, __, orchestrator, __p = make_deployment()
+    autoscaler = Autoscaler(orchestrator,
+                            StubPolicy({"ghost": (1.0, "phantom")}),
+                            breaches_required=1, cooldown_s=0.0)
+    assert autoscaler.evaluate() == []
+    assert [s.service for s in autoscaler.skipped] == ["ghost"]
+    assert "ghost service" in autoscaler.skipped[0].reason
+
+
+def test_autoscaler_never_resurrects_scaled_to_zero_service():
+    """A service scaled down to zero replicas stays down: the stale
+    breach must not let the autoscaler redeploy it."""
+    sim, __, orchestrator, __p = make_deployment()
+    orchestrator.scale_down("sift")
+    assert orchestrator.instances("sift") == []
+    autoscaler = Autoscaler(orchestrator,
+                            StubPolicy({"sift": (1.0, "stale flag")}),
+                            breaches_required=1, cooldown_s=0.0,
+                            placement_machine="e1")
+    assert autoscaler.evaluate() == []
+    assert autoscaler.evaluate() == []
+    assert orchestrator.instances("sift") == []
+    assert all("ghost" in s.reason for s in autoscaler.skipped)
+    assert len(autoscaler.skipped) == 2
+
+
+def test_autoscaler_catches_orchestrator_error_on_scale_up():
+    """If the control-plane entry vanishes between the gate checks and
+    scale_up, the OrchestratorError is logged, not propagated."""
+    sim, __, orchestrator, __p = make_deployment()
+    autoscaler = Autoscaler(orchestrator,
+                            StubPolicy({"sift": (1.0, "test")}),
+                            breaches_required=1, cooldown_s=0.0,
+                            placement_machine="e1")
+    del orchestrator._slas["sift"]
+    assert autoscaler.evaluate() == []
+    assert len(autoscaler.skipped) == 1
+    assert "scale_up failed" in autoscaler.skipped[0].reason
+    assert "never deployed" in autoscaler.skipped[0].reason
+
+
+# ----------------------------------------------------------------------
+# Power budgets
+# ----------------------------------------------------------------------
+def test_autoscaler_deployment_power_budget_vetoes():
+    sim, __, orchestrator, __p = make_deployment()
+    autoscaler = Autoscaler(orchestrator,
+                            StubPolicy({"sift": (1.0, "test")}),
+                            breaches_required=1, cooldown_s=0.0,
+                            placement_machine="e1",
+                            power_budget_w=1.0)
+    assert autoscaler.evaluate() == []
+    assert len(orchestrator.instances("sift")) == 1
+    assert len(autoscaler.skipped) == 1
+    assert "deployment power budget" in autoscaler.skipped[0].reason
+
+
+def test_autoscaler_generous_power_budget_allows_scaling():
+    sim, __, orchestrator, __p = make_deployment()
+    autoscaler = Autoscaler(orchestrator,
+                            StubPolicy({"sift": (1.0, "test")}),
+                            breaches_required=1, cooldown_s=0.0,
+                            placement_machine="e1",
+                            power_budget_w=100000.0)
+    assert len(autoscaler.evaluate()) == 1
+    assert len(orchestrator.instances("sift")) == 2
+    assert autoscaler.skipped == []
+
+
+def test_autoscaler_per_service_sla_power_budget():
+    import dataclasses
+
+    sim, __, orchestrator, __p = make_deployment()
+    sla = orchestrator.sla_for("sift")
+    orchestrator._slas["sift"] = dataclasses.replace(
+        sla, power_budget_w=1.0)
+    autoscaler = Autoscaler(orchestrator,
+                            StubPolicy({"sift": (1.0, "test")}),
+                            breaches_required=1, cooldown_s=0.0,
+                            placement_machine="e1")
+    assert autoscaler.evaluate() == []
+    assert len(orchestrator.instances("sift")) == 1
+    assert "service power budget" in autoscaler.skipped[0].reason
+
+
+def test_power_budget_validation():
+    from repro.orchestra.sla import ServiceSla
+
+    sim, __, orchestrator, __p = make_deployment()
+    with pytest.raises(ValueError):
+        Autoscaler(orchestrator, StubPolicy({}), power_budget_w=0.0)
+    with pytest.raises(ValueError):
+        ServiceSla(service="x", memory_bytes=1, power_budget_w=-5.0)
+
+
+def test_scale_up_preserves_sla_power_budget():
+    """The machine-pinned SLA reconstruction must carry the budget."""
+    import dataclasses
+
+    sim, __, orchestrator, __p = make_deployment()
+    sla = orchestrator.sla_for("sift")
+    orchestrator._slas["sift"] = dataclasses.replace(
+        sla, power_budget_w=10000.0)
+    orchestrator.scale_up("sift", machine="e1")
+    assert orchestrator.sla_for("sift").power_budget_w == 10000.0

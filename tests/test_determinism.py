@@ -231,3 +231,43 @@ def test_flow_on_walks_a_different_trajectory(flow_report,
     flow_digests = set(_digest_map(flow_report).values())
     base_digests = set(_digest_map(serial_report).values())
     assert not flow_digests & base_digests
+
+
+# ----------------------------------------------------------------------
+# Optimizer-oracle cells are pinned to the same goldens
+# ----------------------------------------------------------------------
+def _neutral_c1_spec():
+    """The C1 placement lifted into genome space, no scaler genes."""
+    from repro.orchestra.optimize import Genome
+    from repro.scatter.config import baseline_configs
+
+    return Genome.from_placement(baseline_configs()["C1"]).encode()
+
+
+def test_optimize_oracle_cells_replay_flow_goldens():
+    """The optimizer's oracle runner is digest-neutral: a scaler-less
+    genome cell walks *byte-identically* the committed flow-on golden
+    trajectory for the same placement/clients/seed.  Zero events moved
+    — the energy model is post-hoc and the autoscaler only attaches
+    when the genome carries scaler genes."""
+    spec = _neutral_c1_spec()
+    campaign = Campaign(
+        name="determinism-optimize", pipelines=("optimize",),
+        placements=(spec,), client_counts=(1, 2), duration_s=2.0,
+        seeds=(0, 1))
+    report = run_campaign(campaign)
+    assert not report.failures
+    golden = json.loads(FLOW_GOLDEN_PATH.read_text())["digests"]
+    digests = _digest_map(report)
+    for key, digest in digests.items():
+        flow_key = key.replace(f"optimize/{spec}",
+                               "scatterpp-flow/C1")
+        assert digest == golden[flow_key], (
+            f"optimizer oracle moved events for {key}: the oracle "
+            "must inherit the flow substrate's pinned trajectory "
+            "(energy accounting is post-hoc; a scaler-less genome "
+            "must not attach an autoscaler)")
+    # Energy numbers rode along without touching the trajectory.
+    for cell, summaries in report.summaries.items():
+        for summary in summaries:
+            assert summary["energy"]["total_j"] > 0.0

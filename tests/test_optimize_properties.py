@@ -1,0 +1,250 @@
+"""Property suite for the placement/autoscaler search loop.
+
+Pins the optimizer contracts the PR's acceptance gate leans on:
+
+* **Pareto-front soundness** — no front member strictly dominates
+  another, and every archive entry left off the front is dominated by
+  some front member;
+* **front monotonicity** — ranking happens over the archive of every
+  genome ever evaluated, so each generation's best capacity (and its
+  whole front, under weak dominance) never regresses;
+* **operator closure** — mutation and crossover only ever emit
+  schedulable genomes (replica bounds, known machines, memory fit),
+  falling back to a schedulable parent when eight draws fail;
+* **encode/decode totality** — every genome the operators can produce
+  round-trips through its ``opt:`` spec string bit-identically;
+* **determinism** — same seed ⇒ bit-identical front digest, with the
+  oracle swapped for a deterministic stub (cheap) and with the real
+  campaign oracle at worker counts 0 and 4 (one slow test);
+* **oracle dedup** — no genome is evaluated twice within a run, and a
+  rerun against the same cell cache replays entirely from cache.
+
+All hypothesis tests run derandomized: the suite is part of tier-1 and
+must never flake.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.orchestra.optimize import (Genome, Objectives,
+                                      OptimizeConfig, PlacementSearch,
+                                      SearchSpace, dominates,
+                                      pareto_front, run_search,
+                                      static_seed_genomes)
+from repro.scatter.config import PIPELINE_ORDER
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+# ----------------------------------------------------------------------
+# Deterministic stub oracle: objectives derived from the spec string
+# alone, so search-loop properties run without the simulator.
+# ----------------------------------------------------------------------
+class StubOracle:
+    """Hash-derived objectives; records every spec it is asked about."""
+
+    def __init__(self):
+        self.calls = []
+
+    def evaluate(self, specs):
+        self.calls.extend(specs)
+        results = {}
+        provenance = []
+        for spec in specs:
+            rng = random.Random(spec)
+            results[spec] = Objectives(
+                capacity=rng.randrange(0, 5),
+                p95_ms=round(rng.uniform(40.0, 120.0), 3),
+                joules_per_frame=round(rng.uniform(2.0, 9.0), 3),
+                cost_units=round(rng.uniform(8.0, 30.0), 3))
+            provenance.append({"genome": spec, "clients": 0,
+                               "seed": 0, "fingerprint": "stub"})
+        return results, provenance
+
+    def cache_report(self):
+        return None
+
+
+def stub_search(seed, *, population=6, generations=3):
+    config = OptimizeConfig(seed=seed, population=population,
+                            generations=generations)
+    search = PlacementSearch(config, oracle=StubOracle())
+    return search, search.run()
+
+
+# ----------------------------------------------------------------------
+# Pareto machinery
+# ----------------------------------------------------------------------
+@settings(max_examples=50, derandomize=True, deadline=None)
+@given(seeds)
+def test_front_is_mutually_nondominated(seed):
+    __, report = stub_search(seed)
+    vectors = [(e["genome"],
+                Objectives(**e["objectives"]).vector())
+               for e in report.front]
+    assert vectors, "front must be non-empty"
+    for spec_a, a in vectors:
+        for spec_b, b in vectors:
+            if spec_a != spec_b:
+                assert not dominates(a, b), (spec_a, spec_b)
+
+
+@settings(max_examples=30, derandomize=True, deadline=None)
+@given(seeds)
+def test_off_front_entries_are_dominated(seed):
+    """pareto_front keeps exactly the nondominated archive subset."""
+    rng = random.Random(seed)
+    space = SearchSpace()
+    oracle = StubOracle()
+    specs = [space.random_genome(rng).encode() for __ in range(12)]
+    archive, __ = oracle.evaluate(specs)
+    front = pareto_front(archive)
+    front_specs = {spec for spec, __ in front}
+    for spec, objectives in archive.items():
+        if spec in front_specs:
+            continue
+        assert any(dominates(member.vector(), objectives.vector())
+                   for __, member in front), spec
+
+
+@settings(max_examples=30, derandomize=True, deadline=None)
+@given(seeds)
+def test_front_monotonically_non_worsening(seed):
+    """Each generation's front weakly dominates the previous one."""
+    __, report = stub_search(seed)
+    previous = None
+    for entry in report.generations:
+        front = [Objectives(**e["objectives"]).vector()
+                 for e in entry["front"]]
+        if previous is not None:
+            assert entry["best_capacity"] >= previous["best_capacity"]
+            for old in previous["vectors"]:
+                assert any(
+                    all(x <= y for x, y in zip(new, old))
+                    for new in front), (old, entry["generation"])
+        previous = {"best_capacity": entry["best_capacity"],
+                    "vectors": front}
+
+
+# ----------------------------------------------------------------------
+# Operator closure + encode/decode totality
+# ----------------------------------------------------------------------
+@settings(max_examples=50, derandomize=True, deadline=None)
+@given(seeds)
+def test_mutation_closed_over_schedulable(seed):
+    rng = random.Random(seed)
+    space = SearchSpace()
+    genome = space.random_genome(rng)
+    assert space.is_schedulable(genome)
+    for __ in range(25):
+        genome = space.mutate(genome, rng)
+        assert space.is_schedulable(genome)
+        assert Genome.decode(genome.encode()) == genome
+
+
+@settings(max_examples=50, derandomize=True, deadline=None)
+@given(seeds)
+def test_crossover_closed_over_schedulable(seed):
+    rng = random.Random(seed)
+    space = SearchSpace()
+    a, b = space.random_genome(rng), space.random_genome(rng)
+    for __ in range(25):
+        child = space.crossover(a, b, rng)
+        assert space.is_schedulable(child)
+        assert Genome.decode(child.encode()) == child
+        a, b = b, child
+
+
+@settings(max_examples=30, derandomize=True, deadline=None)
+@given(seeds)
+def test_operators_respect_tight_memory(seed):
+    """With a tight memory override the operators still never emit an
+    unschedulable genome (they fall back to a schedulable parent).
+    One replica of every stage needs 4.9 GB, so 6 GB admits the
+    single-replica pipeline but rejects most replica additions."""
+    rng = random.Random(seed)
+    space = SearchSpace(machines=("e1",),
+                        memory_gb={"e1": 6.0})
+    genome = space.random_genome(rng)
+    assert space.is_schedulable(genome)
+    for __ in range(10):
+        mutated = space.mutate(genome, rng)
+        assert space.is_schedulable(mutated)
+        child = space.crossover(genome, mutated, rng)
+        assert space.is_schedulable(child)
+        genome = mutated
+
+
+def test_static_seeds_are_schedulable_and_distinct():
+    space = SearchSpace()
+    genomes = static_seed_genomes(space)
+    assert len(genomes) >= 4, "paper statics must survive the filter"
+    specs = [g.encode() for g in genomes]
+    assert len(set(specs)) == len(specs)
+    for genome in genomes:
+        assert space.is_schedulable(genome)
+        assert len(genome.machines) == len(PIPELINE_ORDER)
+
+
+# ----------------------------------------------------------------------
+# Determinism + dedup (stub oracle)
+# ----------------------------------------------------------------------
+@settings(max_examples=20, derandomize=True, deadline=None)
+@given(seeds)
+def test_same_seed_bit_identical_front(seed):
+    __, first = stub_search(seed)
+    __, second = stub_search(seed)
+    assert first.front == second.front
+    assert first.front_digest() == second.front_digest()
+    assert first.generations == second.generations
+
+
+@settings(max_examples=20, derandomize=True, deadline=None)
+@given(seeds)
+def test_no_genome_evaluated_twice(seed):
+    search, report = stub_search(seed)
+    oracle = search.oracle
+    assert len(oracle.calls) == len(set(oracle.calls))
+    assert report.evaluations == len(oracle.calls)
+
+
+@settings(max_examples=10, derandomize=True, deadline=None)
+@given(seeds)
+def test_budget_is_a_hard_cap(seed):
+    config = OptimizeConfig(seed=seed, population=6, generations=4,
+                            budget=9)
+    search = PlacementSearch(config, oracle=StubOracle())
+    report = search.run()
+    assert report.evaluations <= 9
+    assert len(search.oracle.calls) <= 9
+
+
+# ----------------------------------------------------------------------
+# Real oracle: worker-count bit-identity and cache dedup (slow-ish,
+# so one tiny configuration each).
+# ----------------------------------------------------------------------
+TINY = dict(population=3, generations=1, ladder=(1,),
+            duration_s=1.5, machines=("e1",), scaler=False)
+
+
+def test_workers_zero_and_four_identical_front():
+    serial = run_search(OptimizeConfig(seed=7, workers=0, **TINY))
+    sharded = run_search(OptimizeConfig(seed=7, workers=4, **TINY))
+    assert serial.front == sharded.front
+    assert serial.front_digest() == sharded.front_digest()
+    assert serial.oracle_calls == sharded.oracle_calls
+
+
+def test_cell_cache_dedups_across_runs(tmp_path):
+    config = OptimizeConfig(seed=7, **TINY)
+    cold = run_search(config, cache=str(tmp_path))
+    assert cold.cache["misses"] == len(cold.oracle_calls)
+    assert cold.cache["hits"] == 0
+    warm = run_search(config, cache=str(tmp_path))
+    assert warm.cache["misses"] == 0
+    assert warm.cache["hits"] == len(warm.oracle_calls)
+    assert warm.front == cold.front
+    assert warm.front_digest() == cold.front_digest()
