@@ -8,7 +8,7 @@ substrate buys at least a 1.5x capacity gain.  Every probed cell is
 audited by the frame-conservation checker, so the headline number can
 never come from a run that silently lost frames.
 
-Results land in ``benchmarks/results/BENCH_capacity_flow.json``.
+Results land in the committed repo-root ``BENCH_capacity_flow.json``.
 
 ``CAPACITY_FLOW_SMOKE=1`` shrinks the probe duration and ceiling for
 CI; the smoke run still exercises both arms and the conservation
@@ -23,7 +23,7 @@ import os
 from repro.experiments.capacity import run_capacity_comparison
 from repro.scatter.config import baseline_configs
 
-from benchmarks.conftest import RESULTS_DIR
+from benchmarks.conftest import save_bench_json
 
 SMOKE = os.environ.get("CAPACITY_FLOW_SMOKE") == "1"
 
@@ -69,9 +69,7 @@ def test_flow_substrate_capacity_gain(save_result):
         "capacity_on": on.max_clients,
         "gain": round(gain, 3),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_capacity_flow.json").write_text(
-        json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    save_bench_json("capacity_flow", entry)
     save_result("capacity_flow",
                 json.dumps(entry, indent=2, sort_keys=True))
 

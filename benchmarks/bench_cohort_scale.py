@@ -21,7 +21,7 @@ Gates:
   balances exactly and every sidecar's micro ledger still conserves;
 * and the tracers keep reporting real per-frame QoS.
 
-Results land in ``benchmarks/results/BENCH_cohort_scale.json``.
+Results land in the committed repo-root ``BENCH_cohort_scale.json``.
 ``COHORT_SMOKE=1`` shrinks duration and population for CI; the smoke
 run still holds every gate (the 100x floor is scale-free).
 """
@@ -38,7 +38,7 @@ from repro.experiments.runner import (run_cohort_experiment,
 from repro.flow import default_flow_config
 from repro.scatter.config import baseline_configs
 
-from benchmarks.conftest import RESULTS_DIR
+from benchmarks.conftest import save_bench_json
 
 SMOKE = os.environ.get("COHORT_SMOKE") == "1"
 
@@ -130,10 +130,7 @@ def test_cohort_scale(save_result):
             "conservation_violations": 0,
         },
     }
-    (RESULTS_DIR / "BENCH_cohort_scale.json").parent.mkdir(
-        exist_ok=True)
-    (RESULTS_DIR / "BENCH_cohort_scale.json").write_text(
-        json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    save_bench_json("cohort_scale", payload)
     save_result("cohort_scale", json.dumps(payload, indent=2,
                                            sort_keys=True))
 

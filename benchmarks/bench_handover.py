@@ -16,7 +16,7 @@ sweep replays randomized handover schedules (trajectory × chaos × arm)
 through the three conservation auditors — client, state-store, and
 sidecar ledgers — and the gate is zero violations.
 
-Results land in ``benchmarks/results/BENCH_handover.json``.
+Results land in the committed repo-root ``BENCH_handover.json``.
 
 ``HANDOVER_SMOKE=1`` shrinks seeds/duration/sweep size for CI; the
 smoke run still exercises both arms, the crash-racing-transfer path,
@@ -39,7 +39,7 @@ from repro.flow import (
 )
 from repro.scatter.config import baseline_configs
 
-from benchmarks.conftest import RESULTS_DIR
+from benchmarks.conftest import save_bench_json
 
 SMOKE = os.environ.get("HANDOVER_SMOKE") == "1"
 
@@ -188,9 +188,7 @@ def test_stateful_handover_beats_naive_reconnect(benchmark,
         "frame_loss_ratio": loss_ratio,
         "conservation_sweep": sweep,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_handover.json").write_text(
-        json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    save_bench_json("handover", entry)
 
     # Both arms really moved sessions under chaos.
     assert stateful["planned"] == naive["planned"] > 0

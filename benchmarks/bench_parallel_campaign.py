@@ -3,7 +3,7 @@
 Runs the demo campaign (2 pipelines × 2 placements × 2 client counts
 × 3 seeds = 24 (cell, seed) tasks) three ways and pins the contract
 plus the performance bars in
-``benchmarks/results/BENCH_parallel_campaign.json``:
+the committed repo-root ``BENCH_parallel_campaign.json``:
 
 * **serial** — ``workers=0``, in-process (the baseline);
 * **warm-pool cold** — ``workers=N`` on the persistent warm pool with
@@ -44,7 +44,7 @@ from repro.experiments.parallel import (
     warm_pool,
 )
 
-from benchmarks.conftest import RESULTS_DIR
+from benchmarks.conftest import save_bench_json
 
 DEMO = Campaign(
     name="parallel-demo",
@@ -187,9 +187,7 @@ def test_parallel_campaign_contract_and_speedup(save_result,
             "digests_identical": True,
             "metrics_identical": True,
         }
-        RESULTS_DIR.mkdir(exist_ok=True)
-        (RESULTS_DIR / "BENCH_parallel_campaign.json").write_text(
-            json.dumps(entry, indent=2, sort_keys=True) + "\n")
+        save_bench_json("parallel_campaign", entry)
         save_result("parallel_campaign",
                     json.dumps(entry, indent=2, sort_keys=True))
 

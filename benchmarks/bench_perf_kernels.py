@@ -14,7 +14,7 @@ three ways:
 All three produce bit-identical descriptors and encodings (enforced by
 ``tests/test_kernel_equivalence.py``; spot-checked again here), so the
 frames/sec ratio is a pure like-for-like speedup.  Results land in
-``benchmarks/results/BENCH_perf_kernels.json`` together with the
+the committed repo-root ``BENCH_perf_kernels.json`` together with the
 cached run's per-stage profiler attribution.
 
 Set ``PERF_KERNELS_SMOKE=1`` to shrink the workload (CI).
@@ -41,7 +41,7 @@ from repro.vision.reference import (
 from repro.vision.sift import SiftExtractor
 from repro.vision.video import SyntheticVideo
 
-from benchmarks.conftest import RESULTS_DIR
+from benchmarks.conftest import save_bench_json
 
 SMOKE = os.environ.get("PERF_KERNELS_SMOKE") == "1"
 #: Distinct frames per loop, and how often each repeats (≈ clients).
@@ -126,9 +126,7 @@ def test_kernel_throughput(save_result):
         "profile": profiler.as_dict(),
         "bit_identical": True,
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / "BENCH_perf_kernels.json").write_text(
-        json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    save_bench_json("perf_kernels", entry)
     save_result("perf_kernels", json.dumps(entry, indent=2,
                                            sort_keys=True))
 

@@ -14,7 +14,7 @@ gates on the headline claim:
 * the rerun replays **>= 50 % of oracle calls from the cell cache**
   (in practice 100 %: every cell was just simulated).
 
-Results land in ``benchmarks/results/BENCH_placement_search.json``.
+Results land in the committed repo-root ``BENCH_placement_search.json``.
 
 ``OPTIMIZE_SMOKE=1`` shrinks the ladder/duration/budget for CI; the
 smoke run keeps the determinism and cache gates but only asserts the
@@ -30,7 +30,7 @@ from repro.orchestra.optimize import (CampaignOracle, OptimizeConfig,
                                       SearchSpace, run_search,
                                       static_seed_genomes)
 
-from benchmarks.conftest import RESULTS_DIR
+from benchmarks.conftest import save_bench_json
 
 SMOKE = os.environ.get("OPTIMIZE_SMOKE") == "1"
 
@@ -122,9 +122,7 @@ def test_search_beats_static_placements(save_result, tmp_path,
         "rerun": {"front_digest": rerun.front_digest(),
                   "cache_hit_rate": hit_rate},
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    out = RESULTS_DIR / "BENCH_placement_search.json"
-    out.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    save_bench_json("placement_search", entry)
 
     lines = ["placement search vs static frontier "
              f"(ladder {list(LADDER)}, {DURATION_S:g}s cells):"]

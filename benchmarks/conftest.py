@@ -15,6 +15,22 @@ import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: Committed benchmark headline numbers live at the repo root as
+#: ``BENCH_<name>.json`` (promoted from the gitignored
+#: ``benchmarks/results/`` in PR 10) so the cross-PR perf trajectory
+#: is versioned alongside the code that earned it.
+#: ``benchmarks/summarize.py`` renders the table.
+BENCH_DIR = pathlib.Path(__file__).resolve().parents[1]
+
+
+def save_bench_json(name: str, entry) -> pathlib.Path:
+    """Persist one benchmark's headline JSON to the repo root."""
+    import json
+
+    path = BENCH_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    return path
+
 
 def pytest_addoption(parser):
     parser.addoption(

@@ -1,0 +1,154 @@
+"""Print the cross-PR perf trajectory from the repo-root BENCH files.
+
+Every perf-bearing PR leaves its headline numbers in a committed
+``BENCH_<name>.json`` at the repository root (promoted from the
+gitignored ``benchmarks/results/`` scratch dir in PR 10).  This
+script renders them as one table so the performance story —
+vectorized vision kernels, flow-control capacity, kernel hot path,
+handover, city-scale cohorts, warm pools, placement search, the
+calendar-queue core — is readable at a glance and diffable across
+PRs::
+
+    python benchmarks/summarize.py            # table
+    python benchmarks/summarize.py --json     # machine-readable
+
+Missing files are reported, not fatal: a fresh clone before any
+benchmark run still gets the committed snapshots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Callable, Dict, List, Optional
+
+ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+
+def _get(data: Dict[str, Any], *path, default=None):
+    node: Any = data
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return default
+        node = node[key]
+    return node
+
+
+def _fmt(value, digits: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:,.{digits}f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _sim_hotpath(data: Dict[str, Any]) -> str:
+    kernel = data.get("kernel", {})
+    parts = [f"kernel {_fmt(kernel.get('speedup'))}x "
+             f"({_fmt(kernel.get('optimized_events_per_s'))} ev/s)"]
+    if kernel.get("compiled_events_per_s"):
+        parts.append(f"compiled {_fmt(kernel.get('compiled_speedup'))}x")
+    storm = data.get("batch_storm", {})
+    if storm:
+        parts.append(f"batch storms {_fmt(storm.get('speedup'))}x")
+    parts.append(f"e2e {_fmt(_get(data, 'campaign_cell', 'speedup'))}x")
+    return ", ".join(parts)
+
+
+#: file stem -> (PR, one-line what-it-measures, headline extractor).
+TRAJECTORY: Dict[str, tuple] = {
+    "perf_kernels": (
+        "PR 3", "vectorized vision kernels + feature cache",
+        lambda d: f"batched {_fmt(d.get('vectorized_speedup'))}x, "
+                  f"cached {_fmt(d.get('cached_speedup'))}x"),
+    "capacity_flow": (
+        "PR 4", "SLO capacity with flow control (C12)",
+        lambda d: f"capacity {_fmt(d.get('capacity_on'))} vs "
+                  f"{_fmt(d.get('capacity_off'))} clients"),
+    "sim_hotpath": ("PR 5/10", "event-kernel hot path", _sim_hotpath),
+    "handover": (
+        "PR 6", "stateful handover vs kill-and-reconnect",
+        lambda d: f"frame-loss ratio "
+                  f"{_fmt(d.get('frame_loss_ratio'))}, "
+                  f"{_fmt(_get(d, 'conservation_sweep', 'handovers'))} "
+                  "handovers, 0 violations"),
+    "cohort_scale": (
+        "PR 7", "city-scale cohort vs all-tracer run",
+        lambda d: f"{_fmt(_get(d, 'cohort', 'modeled_clients'))} "
+                  f"modeled clients, wall "
+                  f"{_fmt(_get(d, 'cohort', 'wall_s'))}s"),
+    "parallel_campaign": (
+        "PR 8", "warm pools + content-addressed cell cache",
+        lambda d: f"warm pool {_fmt(d.get('warm_pool_speedup'))}x, "
+                  f"cached rerun "
+                  f"{_fmt(d.get('cached_rerun_speedup'))}x"),
+    "placement_search": (
+        "PR 9", "genetic placement search vs static frontier",
+        lambda d: f"capacity {_fmt(_get(d, 'searched', 'best_capacity'))}"
+                  f" vs static "
+                  f"{_fmt(_get(d, 'best_static', 'capacity'))}"),
+}
+
+
+def collect() -> List[Dict[str, Optional[str]]]:
+    rows: List[Dict[str, Optional[str]]] = []
+    seen = set()
+    for stem, (pr, measures, extract) in TRAJECTORY.items():
+        path = ROOT / f"BENCH_{stem}.json"
+        row = {"bench": stem, "pr": pr, "measures": measures,
+               "headline": None, "smoke": None}
+        if path.exists():
+            data = json.loads(path.read_text())
+            try:
+                row["headline"] = extract(data)
+            except Exception as exc:  # pragma: no cover - schema drift
+                row["headline"] = f"(unreadable: {exc})"
+            smoke = data.get("smoke", data.get("mode") == "smoke")
+            row["smoke"] = bool(smoke)
+        rows.append(row)
+        seen.add(path.name)
+    # Unknown BENCH files still show up — no silent omissions.
+    for path in sorted(ROOT.glob("BENCH_*.json")):
+        if path.name not in seen:
+            rows.append({"bench": path.stem.replace("BENCH_", ""),
+                         "pr": "?", "measures": "(no extractor)",
+                         "headline": None, "smoke": None})
+    return rows
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="cross-PR benchmark trajectory")
+    parser.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON")
+    args = parser.parse_args(argv)
+    rows = collect()
+    if args.json:
+        print(json.dumps(rows, indent=2))
+        return 0
+    headers = ["bench", "PR", "measures", "headline"]
+    table = []
+    for row in rows:
+        headline = row["headline"] or "(not yet run here)"
+        if row["smoke"]:
+            headline += " [smoke]"
+        table.append([row["bench"], row["pr"], row["measures"],
+                      headline])
+    widths = [max(len(headers[i]), *(len(r[i]) for r in table))
+              for i in range(len(headers))]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("  ".join("-" * w for w in widths))
+    for r in table:
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -185,13 +185,22 @@ class CohortEngine:
         self._horizon_s = self.sim.now + duration_s
         if self.spec.macro_members == 0:
             return
-        self.sim.spawn(self._run(), name="cohort-engine")
-
-    def _run(self):
+        # Pre-schedule the whole tick train in one batched insert
+        # instead of spawning a generator process: the same absolute
+        # fire times the old ``yield timeout(tick)`` loop produced
+        # (``w += tick`` float recurrence, same horizon guard), but
+        # one kernel event per tick instead of three
+        # (expire + wake + resume) and one scheduling call instead of
+        # one per tick — the cohort engine is the hottest periodic
+        # producer in a city-scale cell.
         tick = self.spec.tick_s
-        while self.sim.now + tick <= self._horizon_s + 1e-12:
-            yield self.sim.timeout(tick)
-            self._tick(tick)
+        horizon = self._horizon_s + 1e-12
+        ticks = []
+        when = self.sim.now
+        while when + tick <= horizon:
+            when = when + tick
+            ticks.append((when, self._tick, (tick,)))
+        self.sim.schedule_batch(ticks, absolute=True)
 
     # ------------------------------------------------------------------
     def _tick(self, tick_s: float) -> None:

@@ -1,0 +1,1281 @@
+"""Calendar-queue event kernel — the default optimized backend.
+
+This module is the hot path of every experiment — campaigns push
+millions of events through ``run()`` — and replaces the PR 5 binary
+heap with an array-backed **calendar queue** (timing wheel) for the
+timer population, selected through :mod:`repro.sim.kernel`'s
+``REPRO_SIM_KERNEL`` switch:
+
+* timers land in a power-of-two ring of buckets: ``slot =
+  int(when * inv_width)`` (one monotone slot function used
+  everywhere), an O(1) ``list.append`` instead of an O(log n) heap
+  push;
+* the run loop *activates* one bucket at a time: sort it once with
+  C timsort, then consume it by index — O(1) pops;
+* events past the wheel horizon (``slot - head >= nbuckets``) spill
+  to an overflow heap and are re-bucketed lazily as the head
+  approaches their slot, so far-future timers cost two heap ops, not
+  a giant sparse wheel;
+* events at or behind the head slot (clamped inserts after an
+  ``until`` rewind, resize leftovers) ride a small ``near`` heap the
+  loop merges by head comparison, exactly like the zero-delay ready
+  lane;
+* when the bucket population outgrows the ring (> 2x buckets) the
+  wheel rebuilds: doubled bucket count, bucket width re-estimated
+  from the pending span, every timer re-inserted through the same
+  slot rule.  The rebuild touches only buckets + overflow — never
+  the active run or the near/ready lanes — so it is safe mid-run,
+  even from inside a callback.
+
+Why the ``(when, seq)`` order — and with it every committed golden
+trace digest — is preserved byte-for-byte:
+
+* ``seq`` is globally unique and assigned in ``schedule()`` call
+  order, exactly as before; the wheel is *only* a priority-queue
+  implementation, and any correct priority queue yields the same
+  ``(when, seq)`` pop order;
+* the slot function is monotone in ``when``, so bucket events
+  (``slot > head``) are strictly later than every near/ready event
+  (``slot <= head``) — activating a bucket only when the near and
+  ready lanes are empty cannot reorder;
+* a bucket only ever holds timers for a single future slot (the
+  insert horizon check guarantees head never passes a non-empty
+  bucket, and two distinct pending slots can never alias the same
+  physical bucket), so sorting it at activation yields the exact
+  global ``(when, seq)`` sub-order;
+* the rebuild re-inserts events with their original ``(when, seq)``
+  tuples; anything at or before the activation boundary goes to the
+  near heap, so nothing can execute late.
+
+The zero-delay ready lane, buffered :class:`TraceDigest`, slotted
+waitables, tombstoned waiter lists and inlined resume paths are
+carried over from PR 5 unchanged.  The pre-optimization kernel
+survives verbatim in :mod:`repro.sim.reference`; equivalence tests
+replay identical programs through both and require byte-identical
+fingerprints.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import math
+import struct
+from collections import deque
+from types import MethodType
+from typing import (Any, Callable, Dict, Generator, Iterable, List,
+                    Optional, Sequence, Tuple)
+
+_INFINITY = float("inf")
+_PACK_EVENT = struct.Struct("<dQ").pack
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: Buffered digest entries (two per event record) folded into blake2b
+#: per ``update()`` call — ~1024 events a chunk.
+_FLUSH_ENTRIES = 2048
+
+#: Initial calendar geometry: 256 buckets of ~1.95 ms cover a ~500 ms
+#: horizon — frame pacing (33 ms), service delays (1–50 ms) and the
+#: 100 ms cohort/netem cadence all land in-ring; run-horizon drivers
+#: spill to the overflow heap.  Width is a tuning sweep result: 2**-10
+#: maximizes the dense microbench (~1 ms inter-event gaps) but scans
+#: ~34 empty buckets per event on sparse frame-paced cells; 2**-9 is
+#: the crossover that keeps both within a few percent of their best.
+_INITIAL_BUCKETS = 256
+_INITIAL_WIDTH = 2.0 ** -9
+#: Never grow the ring past this many buckets; past it only the grow
+#: threshold doubles (the overflow heap absorbs the tail).
+_MAX_BUCKETS = 1 << 20
+#: Bucket-width exponent clamp for the rebuild's re-estimation.
+_MIN_WIDTH_EXP = -30
+_MAX_WIDTH_EXP = 6
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (e.g. negative delays, double-fire)."""
+
+
+class TraceDigest:
+    """A running fingerprint of the event trajectory.
+
+    Every event the kernel executes folds ``(time, seq, kind)`` into a
+    blake2b hash, where *kind* is the qualified name of the callback.
+    Two runs with the same fingerprint executed the same events, at the
+    same virtual times, in the same order — which makes the digest a
+    cheap replayable witness for the determinism contract: same seed ⇒
+    same digest, regardless of worker count or process boundary.
+
+    Deliberately avoids ``hash()`` (randomized per process via
+    ``PYTHONHASHSEED``) so fingerprints compare across processes.
+
+    The byte stream hashed is exactly the reference implementation's
+    (``struct.pack("<dQ", when, seq)`` followed by the UTF-8 encoded
+    kind, per event) — but the work per event is trimmed two ways:
+
+    * kind bytes are memoized: bound methods key on their underlying
+      function object, everything else on the qualname string, so the
+      qualname lookup and UTF-8 encode happen once per distinct
+      callback kind instead of once per event;
+    * records accumulate in a list and fold into blake2b in chunks of
+      :attr:`FLUSH_RECORDS`, replacing two C-call ``update()``s per
+      event with one ``b"".join`` + ``update()`` per thousand.  A
+      stream hash digests identical bytes to an identical value no
+      matter how they are split, so buffering is invisible to every
+      committed golden digest.
+    """
+
+    __slots__ = ("_hash", "events", "_pending", "_func_kinds",
+                 "_name_kinds")
+
+    def __init__(self) -> None:
+        self._hash = hashlib.blake2b(digest_size=16)
+        self.events = 0
+        #: Buffered (pack, kind) byte pairs awaiting one hash update.
+        self._pending: List[bytes] = []
+        #: plain function -> encoded kind (bound-method fast path).
+        self._func_kinds: Dict[Any, bytes] = {}
+        #: qualname string -> encoded kind (every other callable).
+        self._name_kinds: Dict[str, bytes] = {}
+
+    def record(self, when: float, seq: int, kind: str) -> None:
+        """Fold one executed event into the fingerprint."""
+        kind_bytes = self._name_kinds.get(kind)
+        if kind_bytes is None:
+            kind_bytes = kind.encode("utf-8", "replace")
+            self._name_kinds[kind] = kind_bytes
+        pending = self._pending
+        pending.append(_PACK_EVENT(when, seq))
+        pending.append(kind_bytes)
+        self.events += 1
+        if len(pending) >= _FLUSH_ENTRIES:
+            self._flush()
+
+    def record_event(self, when: float, seq: int,
+                     callback: Callable[..., None]) -> None:
+        """:meth:`record` with the kind derived from ``callback``.
+
+        Equivalent to ``record(when, seq, _event_kind(callback))`` but
+        memoized by function object for bound methods.  The simulator's
+        digested loop inlines this body — keep the two in sync.
+        """
+        if type(callback) is MethodType:
+            func = callback.__func__
+            kind_bytes = self._func_kinds.get(func)
+            if kind_bytes is None:
+                kind_bytes = _event_kind(func).encode("utf-8", "replace")
+                self._func_kinds[func] = kind_bytes
+        else:
+            kind = getattr(callback, "__qualname__", None)
+            if kind is None:
+                kind = type(callback).__qualname__
+            kind_bytes = self._name_kinds.get(kind)
+            if kind_bytes is None:
+                kind_bytes = kind.encode("utf-8", "replace")
+                self._name_kinds[kind] = kind_bytes
+        pending = self._pending
+        pending.append(_PACK_EVENT(when, seq))
+        pending.append(kind_bytes)
+        self.events += 1
+        if len(pending) >= _FLUSH_ENTRIES:
+            self._flush()
+
+    def _flush(self) -> None:
+        if self._pending:
+            self._hash.update(b"".join(self._pending))
+            self._pending.clear()
+
+    def hexdigest(self) -> str:
+        """Hex fingerprint of every event folded in so far."""
+        self._flush()
+        return self._hash.hexdigest()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TraceDigest {self.hexdigest()} "
+                f"({self.events} events)>")
+
+
+def _event_kind(callback: Callable[..., None]) -> str:
+    """A process-stable label for a scheduled callback."""
+    kind = getattr(callback, "__qualname__", None)
+    if kind is None:
+        kind = type(callback).__qualname__
+    return kind
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Waitable:
+    """Base class for anything a process may yield on.
+
+    A waitable is *fired* exactly once; firing wakes every process
+    currently waiting on it and delivers :attr:`value` (or raises
+    :attr:`exception` inside the waiter).
+
+    Waiter bookkeeping: entries record their list index on the waiter
+    (``_wait_index``), so :meth:`_discard_waiter` can tombstone its
+    slot with ``None`` in O(1) instead of an O(n) ``list.remove``.
+    Firing skips tombstones, preserving the survivors' subscription
+    order bit-for-bit; heavily tombstoned lists compact in place.
+    """
+
+    __slots__ = ("sim", "fired", "value", "exception", "_waiters",
+                 "_dead")
+
+    #: Compact the waiter list once at least this many tombstones have
+    #: accumulated *and* they outnumber the live entries.
+    _COMPACT_MIN = 32
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.fired = False
+        self.value: Any = None
+        self.exception: Optional[BaseException] = None
+        self._waiters: List[Any] = []
+        self._dead = 0
+
+    def _append_waiter(self, entry: Any) -> None:
+        """Subscribe ``entry`` (a process or watcher) for the fire."""
+        entry._wait_index = len(self._waiters)
+        self._waiters.append(entry)
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self.fired:
+            # Resume immediately (on the next event-loop tick so that
+            # re-entrancy never bites).
+            self.sim.schedule(0.0, process._resume, self)
+        else:
+            process._wait_index = len(self._waiters)
+            self._waiters.append(process)
+
+    def _discard_waiter(self, process: "Process") -> None:
+        waiters = self._waiters
+        index = process._wait_index
+        if 0 <= index < len(waiters) and waiters[index] is process:
+            waiters[index] = None
+            dead = self._dead + 1
+            self._dead = dead
+            if dead >= self._COMPACT_MIN and dead * 2 >= len(waiters):
+                self._compact()
+
+    def _compact(self) -> None:
+        live = [entry for entry in self._waiters if entry is not None]
+        for index, entry in enumerate(live):
+            entry._wait_index = index
+        self._waiters = live
+        self._dead = 0
+
+    def _wake_waiters(self) -> None:
+        """Schedule every live waiter's resume at the current instant.
+
+        Inlines ``sim.schedule(0.0, waiter._resume, self)`` — the
+        per-waiter call/packing overhead is measurable at campaign
+        scale — and lands the wake events on the simulator's zero-delay
+        ready lane instead of the timer wheel.  ``now + 0.0`` (not
+        ``now``) reproduces ``schedule``'s arithmetic bit-for-bit: the
+        digest packs the event time, and ``-0.0 + 0.0`` is ``+0.0``.
+        The event tuple layout must match :meth:`Simulator.schedule`.
+        """
+        waiters = self._waiters
+        if not waiters:
+            return
+        self._waiters = []
+        self._dead = 0
+        sim = self.sim
+        ready_append = sim._ready.append
+        now = sim._now + 0.0
+        seq = sim._seq
+        args = (self,)
+        for waiter in waiters:
+            if waiter is not None:
+                seq += 1
+                ready_append((now, seq, waiter._resume, args))
+        sim._seq = seq
+
+    def fire(self, value: Any = None) -> None:
+        """Fire the waitable, delivering ``value`` to all waiters."""
+        if self.fired:
+            raise SimulationError(f"{self!r} fired twice")
+        self.fired = True
+        self.value = value
+        self._wake_waiters()
+
+    def fail(self, exception: BaseException) -> None:
+        """Fire the waitable with an exception raised inside waiters."""
+        if self.fired:
+            raise SimulationError(f"{self!r} fired twice")
+        self.fired = True
+        self.exception = exception
+        self._wake_waiters()
+
+
+class Timeout(Waitable):
+    """Fires after a fixed virtual-time delay.
+
+    The constructor and expiry callback are the single hottest
+    allocation/dispatch pair in a campaign (every service delay is a
+    timeout), so both flatten their call chains: ``__init__`` assigns
+    the :class:`Waitable` fields directly and inserts its expiry event
+    into the calendar queue without going through
+    :meth:`Simulator.schedule` (the delay is already validated
+    non-negative), and ``_expire`` inlines :meth:`Waitable.fire` minus
+    the double-fire guard it performs itself.  Event tuple layout, seq
+    accounting and the slot rule match ``schedule`` exactly, so event
+    order is untouched.
+    """
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay}")
+        self.sim = sim
+        self.fired = False
+        self.value = None
+        self.exception = None
+        self._waiters = []
+        self._dead = 0
+        self.delay = delay
+        seq = sim._seq + 1
+        sim._seq = seq
+        if delay:
+            when = sim._now + delay
+            event = (when, seq, self._expire, (value,))
+            slot = int(when * sim._inv_width)
+            diff = slot - sim._head_slot
+            if diff <= 0:
+                _heappush(sim._near, event)
+            elif diff < sim._nbuckets:
+                bucket = sim._buckets[slot & sim._mask]
+                if not bucket:
+                    _heappush(sim._occ_slots, slot)
+                bucket.append(event)
+                count = sim._count + 1
+                sim._count = count
+                if count > sim._grow_at:
+                    sim._grow()
+            else:
+                _heappush(sim._overflow, event)
+        else:
+            sim._ready.append(
+                (sim._now + delay, seq, self._expire, (value,)))
+
+    def _expire(self, value: Any) -> None:
+        if self.fired:
+            return
+        self.fired = True
+        self.value = value
+        # Inlined _wake_waiters: one call per expiry saved, and expiry
+        # is the single most frequent event kind in every campaign.
+        waiters = self._waiters
+        if not waiters:
+            return
+        self._waiters = []
+        self._dead = 0
+        sim = self.sim
+        ready_append = sim._ready.append
+        now = sim._now + 0.0
+        seq = sim._seq
+        args = (self,)
+        for waiter in waiters:
+            if waiter is not None:
+                seq += 1
+                ready_append((now, seq, waiter._resume, args))
+        sim._seq = seq
+
+
+class Signal(Waitable):
+    """A one-shot event fired explicitly by some other process."""
+
+    __slots__ = ()
+
+
+class AnyOf(Waitable):
+    """Fires when the first of its children fires.
+
+    The value delivered is the ``(child, child_value)`` pair of the
+    winning child.  Remaining children keep running; their eventual
+    values are discarded.
+    """
+
+    __slots__ = ("children",)
+
+    def __init__(self, sim: "Simulator", children: Iterable[Waitable]):
+        super().__init__(sim)
+        self.children = list(children)
+        if not self.children:
+            raise SimulationError("AnyOf needs at least one child")
+        for child in self.children:
+            self._watch(child)
+
+    def _watch(self, child: Waitable) -> None:
+        if child.fired:
+            self.sim.schedule(0.0, self._child_fired, child)
+        else:
+            child._append_waiter(_Watcher(self, child))
+
+    def _child_fired(self, child: Waitable) -> None:
+        if self.fired:
+            return
+        if child.exception is not None:
+            self.fail(child.exception)
+        else:
+            self.fire((child, child.value))
+
+
+class AllOf(Waitable):
+    """Fires when every child has fired; value is the list of values."""
+
+    __slots__ = ("children", "_pending")
+
+    def __init__(self, sim: "Simulator", children: Iterable[Waitable]):
+        super().__init__(sim)
+        self.children = list(children)
+        self._pending = len(self.children)
+        if self._pending == 0:
+            sim.schedule(0.0, self.fire, [])
+            return
+        for child in self.children:
+            if child.fired:
+                sim.schedule(0.0, self._child_fired, child)
+            else:
+                child._append_waiter(_Watcher(self, child))
+
+    def _child_fired(self, child: Waitable) -> None:
+        if self.fired:
+            return
+        if child.exception is not None:
+            self.fail(child.exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.fire([c.value for c in self.children])
+
+
+class _Watcher:
+    """Adapter letting composite waitables sit in a child's waiter list."""
+
+    __slots__ = ("parent", "child", "_wait_index")
+
+    def __init__(self, parent: Waitable, child: Waitable):
+        self.parent = parent
+        self.child = child
+        self._wait_index = -1
+
+    def _resume(self, _waitable: Waitable) -> None:
+        self.parent._child_fired(self.child)  # type: ignore[attr-defined]
+
+
+ProcessGenerator = Generator[Waitable, Any, Any]
+
+
+class Process(Waitable):
+    """A running process; also a waitable that fires on termination."""
+
+    __slots__ = ("name", "_generator", "_target", "_interrupts",
+                 "_wait_index")
+
+    _ids = 0
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator,
+                 name: Optional[str] = None):
+        super().__init__(sim)
+        Process._ids += 1
+        self.name = name or f"proc-{Process._ids}"
+        self._generator = generator
+        self._target: Optional[Waitable] = None
+        self._interrupts: List[Interrupt] = []
+        self._wait_index = -1
+        # Inlined ``sim.schedule(0.0, self._resume, None)`` onto the
+        # ready lane (``+ 0.0`` matches schedule's arithmetic exactly).
+        seq = sim._seq + 1
+        sim._seq = seq
+        sim._ready.append((sim._now + 0.0, seq, self._resume, (None,)))
+
+    @property
+    def alive(self) -> bool:
+        return not self.fired
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point."""
+        if self.fired:
+            return
+        self._interrupts.append(Interrupt(cause))
+        if self._target is not None:
+            self._target._discard_waiter(self)
+            self._target = None
+        self.sim.schedule(0.0, self._resume, None)
+
+    def _resume(self, waitable: Optional[Waitable]) -> None:
+        if self.fired:
+            return
+        if waitable is not None and waitable is not self._target:
+            # Stale wake-up from a waitable we stopped caring about
+            # (e.g. we were interrupted while waiting on it).
+            return
+        self._target = None
+        try:
+            if self._interrupts:
+                interrupt = self._interrupts.pop(0)
+                target = self._generator.throw(interrupt)
+            elif waitable is not None and waitable.exception is not None:
+                target = self._generator.throw(waitable.exception)
+            else:
+                value = waitable.value if waitable is not None else None
+                target = self._generator.send(value)
+        except StopIteration as stop:
+            self.fire(stop.value)
+            return
+        except Interrupt as interrupt:
+            # Process chose not to handle an interrupt: die quietly with
+            # the cause as its value.
+            self.fire(interrupt.cause)
+            return
+        while not isinstance(target, Waitable):
+            # Misuse: the generator yielded something that cannot be
+            # waited on.  Throw at the yield point; a generator that
+            # catches the error may return (the process fires with the
+            # return value) or yield a proper waitable (it resumes
+            # waiting).  An uncaught throw propagates to the event
+            # loop, as it always has.
+            try:
+                target = self._generator.throw(SimulationError(
+                    f"process {self.name} yielded {target!r}, "
+                    "which is not a Waitable"))
+            except StopIteration as stop:
+                self.fire(stop.value)
+                return
+        if self._interrupts:
+            # An interrupt raced in while we were executing; deliver it
+            # instead of blocking.
+            self.sim.schedule(0.0, self._resume, None)
+            return
+        self._target = target
+        # Inlined target._add_waiter(self) — one call per resume.
+        if target.fired:
+            sim = self.sim
+            seq = sim._seq + 1
+            sim._seq = seq
+            sim._ready.append((sim._now + 0.0, seq, self._resume, (target,)))
+        else:
+            self._wait_index = len(target._waiters)
+            target._waiters.append(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.fired else "alive"
+        return f"<Process {self.name} {state}>"
+
+
+class Simulator:
+    """Owns virtual time and the calendar event queue."""
+
+    __slots__ = ("_buckets", "_nbuckets", "_mask", "_grow_at",
+                 "_width", "_inv_width", "_head_slot", "_count",
+                 "_near", "_cur", "_cur_i", "_overflow", "_ready",
+                 "_occ_slots", "_now", "_seq", "_running", "digest",
+                 "profile", "_kind_names", "_resizes", "_spills",
+                 "_activations", "_occupancy")
+
+    def __init__(self, digest: bool = True,
+                 profile: bool = False) -> None:
+        #: The calendar ring: bucket ``slot & mask`` holds the timers
+        #: of exactly one pending slot (insert horizon + head
+        #: monotonicity guarantee two live slots never alias).
+        self._buckets: List[List[tuple]] = \
+            [[] for _ in range(_INITIAL_BUCKETS)]
+        self._nbuckets = _INITIAL_BUCKETS
+        self._mask = _INITIAL_BUCKETS - 1
+        self._grow_at = _INITIAL_BUCKETS * 2
+        self._width = _INITIAL_WIDTH
+        self._inv_width = 1.0 / _INITIAL_WIDTH
+        #: The last activated slot; every bucketed event satisfies
+        #: ``slot > head``, every near-heap event ``slot <= head``.
+        self._head_slot = 0
+        #: Events currently resident in buckets (not near/overflow).
+        self._count = 0
+        #: Heap of events at or behind the head slot (clamped inserts
+        #: after an ``until`` rewind, rebuild leftovers, pushed-back
+        #: events).  Merged with the active bucket by head comparison.
+        self._near: List[tuple] = []
+        #: The active (head) bucket, sorted ascending, consumed by
+        #: index ``_cur_i``.  Persisted across ``run()`` calls so an
+        #: ``until`` stop mid-bucket resumes exactly where it left.
+        self._cur: List[tuple] = []
+        self._cur_i = 0
+        #: Far-future timers (past the ring horizon), a plain heap;
+        #: re-bucketed lazily as the head approaches.
+        self._overflow: List[tuple] = []
+        #: Zero-delay fast lane.  Events scheduled with delay 0.0 — the
+        #: wake/resume traffic that dominates campaigns — go here as
+        #: O(1) appends instead of heap/bucket inserts.  Invariant:
+        #: the deque is sorted by ``(when, seq)``.  It holds because
+        #: (a) inside ``run()`` appends happen at the nondecreasing
+        #: current time with globally increasing seq, (b) every exit
+        #: from a run loop spills leftovers into the near heap, so
+        #: (c) outside ``run()`` all appends share one fixed ``now``.
+        self._ready: deque = deque()
+        #: Min-heap of the logical slots whose buckets are non-empty.
+        #: Pushed on an empty bucket's first append, popped exactly at
+        #: activation — buckets only empty via activation or the
+        #: ``_grow`` rebuild (which reconstructs the heap), so entries
+        #: never go stale and ``_occ_slots[0]`` IS the next occupied
+        #: slot.  Turns the advance step from an O(empty-gap) bucket
+        #: scan into an O(log occupied) pop, which is what makes
+        #: sparse frame-paced workloads (33 ms gaps, ~2 ms buckets)
+        #: fast, not just dense storms.
+        self._occ_slots: List[int] = []
+        self._now = 0.0
+        self._seq = 0
+        self._running = False
+        #: Wheel observability (digest-inert: pure counters, no events,
+        #: no RNG): rebuilds, overflow→bucket spills, bucket
+        #: activations, and a bucket-size occupancy histogram.
+        self._resizes = 0
+        self._spills = 0
+        self._activations = 0
+        self._occupancy: Dict[int, int] = {}
+        #: Running trace fingerprint; ``None`` when disabled.
+        self.digest: Optional[TraceDigest] = \
+            TraceDigest() if digest else None
+        #: Opt-in per-event-kind wall-time profile; ``None`` (the
+        #: default) keeps the loop free of clock reads.  Purely
+        #: observational: profiling schedules no events and draws no
+        #: RNG, so the trace digest is byte-identical either way.
+        if profile:
+            from repro.metrics.profiling import EventProfile
+
+            self.profile: Optional["EventProfile"] = EventProfile()
+        else:
+            self.profile = None
+        #: callback-function -> kind-string memo for the profiler.
+        self._kind_names: Dict[Any, str] = {}
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    def fingerprint(self) -> Optional[str]:
+        """Hex trace digest of every event executed so far.
+
+        Identical fingerprints mean identical event trajectories —
+        the determinism contract checked by
+        ``tests/test_determinism.py``.  ``None`` when the digest was
+        disabled at construction.
+        """
+        return self.digest.hexdigest() if self.digest else None
+
+    def schedule(self, delay: float, callback: Callable[..., None],
+                 *args: Any) -> None:
+        """Run ``callback(*args)`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        seq = self._seq + 1
+        self._seq = seq
+        if delay:
+            when = self._now + delay
+            event = (when, seq, callback, args)
+            slot = int(when * self._inv_width)
+            diff = slot - self._head_slot
+            if diff <= 0:
+                _heappush(self._near, event)
+            elif diff < self._nbuckets:
+                bucket = self._buckets[slot & self._mask]
+                if not bucket:
+                    _heappush(self._occ_slots, slot)
+                bucket.append(event)
+                count = self._count + 1
+                self._count = count
+                if count > self._grow_at:
+                    self._grow()
+            else:
+                _heappush(self._overflow, event)
+        else:
+            self._ready.append((self._now + delay, seq, callback, args))
+
+    def schedule_batch(self, items: Iterable[Sequence],
+                       *, absolute: bool = False) -> None:
+        """Schedule many events in one call.
+
+        ``items`` yields ``(delay, callback, args)`` triples (``args``
+        a tuple); with ``absolute=True`` the first element is the
+        absolute virtual time instead (must be ``>= now`` — hot
+        producers pre-computing exact tick trains use this to avoid
+        re-deriving ``now + delay`` float arithmetic).
+
+        Exactly equivalent to calling :meth:`schedule` once per item
+        in order — same seq assignment, same validation, same partial
+        insertion if an item raises mid-batch — but the wheel state is
+        hoisted out of the loop, so same-tick event storms (cohort
+        ticks, netem schedules, handover timetables) pay one Python
+        call instead of N.
+        """
+        seq = self._seq
+        now = self._now
+        inv_width = self._inv_width
+        head = self._head_slot
+        nbuckets = self._nbuckets
+        mask = self._mask
+        buckets = self._buckets
+        near = self._near
+        overflow = self._overflow
+        occ_slots = self._occ_slots
+        ready_append = self._ready.append
+        count = self._count
+        grow_at = self._grow_at
+        # Same-tick storms repeat one ``when``; memoize its target
+        # bucket so the slot math runs once per distinct instant.
+        last_when = -1.0
+        last_bucket: Optional[List[tuple]] = None
+        try:
+            for first, callback, args in items:
+                if absolute:
+                    when = first + 0.0
+                    delay = when - now
+                    if delay < 0:
+                        raise SimulationError(
+                            f"absolute time {first} is before now={now}")
+                else:
+                    delay = first
+                    if delay < 0:
+                        raise SimulationError(f"negative delay {delay}")
+                    when = now + delay
+                seq += 1
+                if delay:
+                    if when == last_when and last_bucket is not None:
+                        last_bucket.append((when, seq, callback, args))
+                        count += 1
+                        if count <= grow_at:
+                            continue
+                    else:
+                        event = (when, seq, callback, args)
+                        slot = int(when * inv_width)
+                        diff = slot - head
+                        if diff <= 0:
+                            _heappush(near, event)
+                            continue
+                        if diff >= nbuckets:
+                            _heappush(overflow, event)
+                            continue
+                        bucket = buckets[slot & mask]
+                        if not bucket:
+                            _heappush(occ_slots, slot)
+                        bucket.append(event)
+                        count += 1
+                        last_when = when
+                        last_bucket = bucket
+                        if count <= grow_at:
+                            continue
+                    self._seq = seq
+                    self._count = count
+                    self._grow()
+                    inv_width = self._inv_width
+                    head = self._head_slot
+                    nbuckets = self._nbuckets
+                    mask = self._mask
+                    buckets = self._buckets
+                    overflow = self._overflow
+                    occ_slots = self._occ_slots
+                    count = self._count
+                    grow_at = self._grow_at
+                    last_when = -1.0
+                    last_bucket = None
+                else:
+                    ready_append((when, seq, callback, args))
+        finally:
+            self._seq = seq
+            self._count = count
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def signal(self) -> Signal:
+        return Signal(self)
+
+    def any_of(self, children: Iterable[Waitable]) -> AnyOf:
+        return AnyOf(self, children)
+
+    def all_of(self, children: Iterable[Waitable]) -> AllOf:
+        return AllOf(self, children)
+
+    def spawn(self, generator: ProcessGenerator,
+              name: Optional[str] = None) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator, name)
+
+    def wheel_stats(self) -> Dict[str, Any]:
+        """Calendar-queue observability counters (digest-inert).
+
+        Pure observation: reading these schedules no events and draws
+        no RNG, so trace digests are identical whether or not anyone
+        looks.  ``occupancy`` maps bucket size → number of activations
+        that drained a bucket of that size.
+        """
+        return {
+            "nbuckets": self._nbuckets,
+            "width_s": self._width,
+            "head_slot": self._head_slot,
+            "pending_buckets": self._count,
+            "pending_near": len(self._near),
+            "pending_overflow": len(self._overflow),
+            "resizes": self._resizes,
+            "spills": self._spills,
+            "activations": self._activations,
+            "occupancy": dict(sorted(self._occupancy.items())),
+        }
+
+    # ------------------------------------------------------------------
+    # Calendar-queue internals
+    # ------------------------------------------------------------------
+
+    def _grow(self) -> None:
+        """Rebuild the ring with more buckets and a re-estimated width.
+
+        Gathers only the bucketed + overflow timers; the active bucket
+        (``_cur``), the near heap and the ready lane are never touched,
+        which makes the rebuild safe from inside a running callback
+        (the loop's consumption index lives in a local).  Every
+        gathered event at or before the activation boundary — the
+        latest instant the loop might still be merging — re-inserts
+        into the near heap, so the rebuild cannot push an event past
+        its turn; everything later re-buckets under the new slot rule
+        with its original ``(when, seq)`` tuple, preserving order.
+        """
+        events: List[tuple] = []
+        for bucket in self._buckets:
+            events.extend(bucket)
+        events.extend(self._overflow)
+        total = len(events)
+        new_n = self._nbuckets * 2
+        while total > new_n * 2 and new_n < _MAX_BUCKETS:
+            new_n *= 2
+        if new_n > _MAX_BUCKETS:
+            new_n = _MAX_BUCKETS
+        # Width re-estimation: aim for ~total/new_n events per bucket
+        # across the pending span, snapped to a power of two so the
+        # inverse is exact.  A zero span (one instant) keeps the old
+        # width — only correctness matters, the policy is free.
+        width = self._width
+        if total > 1:
+            lo = hi = events[0][0]
+            for event in events:
+                when = event[0]
+                if when < lo:
+                    lo = when
+                elif when > hi:
+                    hi = when
+            span = hi - lo
+            if span > 0.0:
+                exp = math.ceil(math.log2(span / new_n))
+                if exp < _MIN_WIDTH_EXP:
+                    exp = _MIN_WIDTH_EXP
+                elif exp > _MAX_WIDTH_EXP:
+                    exp = _MAX_WIDTH_EXP
+                width = 2.0 ** exp
+        inv_width = 1.0 / width
+        # The activation boundary: nothing at or before it may land in
+        # a bucket (the loop merges cur/near/ready by comparison, but
+        # buckets only activate after those drain).
+        boundary = self._now
+        cur = self._cur
+        if cur:
+            last = cur[-1][0]
+            if last > boundary:
+                boundary = last
+        near = self._near
+        if near:
+            latest = max(near)[0]
+            if latest > boundary:
+                boundary = latest
+        new_head = int(boundary * inv_width)
+        buckets: List[List[tuple]] = [[] for _ in range(new_n)]
+        mask = new_n - 1
+        overflow: List[tuple] = []
+        occ_slots: List[int] = []
+        count = 0
+        for event in events:
+            slot = int(event[0] * inv_width)
+            diff = slot - new_head
+            if diff <= 0:
+                _heappush(near, event)
+            elif diff < new_n:
+                bucket = buckets[slot & mask]
+                if not bucket:
+                    occ_slots.append(slot)
+                bucket.append(event)
+                count += 1
+            else:
+                _heappush(overflow, event)
+        heapq.heapify(occ_slots)
+        self._buckets = buckets
+        self._nbuckets = new_n
+        self._mask = mask
+        self._grow_at = max(new_n * 2, total * 2)
+        self._width = width
+        self._inv_width = inv_width
+        self._head_slot = new_head
+        self._count = count
+        self._overflow = overflow
+        self._occ_slots = occ_slots
+        self._resizes += 1
+
+    def _advance_wheel(self) -> Optional[List[tuple]]:
+        """Activate the next non-empty bucket; ``None`` when drained.
+
+        Called only when the active bucket, the near heap and the
+        ready lane are all empty.  Spills overflow timers that have
+        come within the ring horizon, then jumps the head straight to
+        the earliest occupied slot (``_occ_slots`` heap) — no
+        empty-bucket scan.  Order safety: after the spill loop every
+        remaining overflow slot is ``>= head + nbuckets``, while every
+        occupied slot is ``< head + nbuckets``, so the popped minimum
+        really is the globally next timer; and because it is the
+        minimum, jumping the head to it keeps every remaining bucketed
+        slot strictly ahead of the head (the alias-freedom invariant).
+        The activated bucket is sorted (single timsort) and handed to
+        the run loop for index consumption.
+        """
+        count = self._count
+        overflow = self._overflow
+        if not count and not overflow:
+            return None
+        buckets = self._buckets
+        mask = self._mask
+        nbuckets = self._nbuckets
+        inv_width = self._inv_width
+        occ_slots = self._occ_slots
+        head = self._head_slot
+        spills = 0
+        while True:
+            if overflow:
+                if not count:
+                    # Everything pending is far-future: jump the head
+                    # to just before the earliest overflow slot so the
+                    # spill below lands it in-ring.
+                    jump = int(overflow[0][0] * inv_width) - 1
+                    if jump > head:
+                        head = jump
+                limit = head + nbuckets
+                while overflow and int(overflow[0][0] * inv_width) < limit:
+                    event = _heappop(overflow)
+                    slot = int(event[0] * inv_width)
+                    bucket = buckets[slot & mask]
+                    if not bucket:
+                        _heappush(occ_slots, slot)
+                    bucket.append(event)
+                    count += 1
+                    spills += 1
+            if count:
+                head = _heappop(occ_slots)
+                index = head & mask
+                bucket = buckets[index]
+                buckets[index] = []
+                bucket.sort()
+                size = len(bucket)
+                count -= size
+                self._head_slot = head
+                self._count = count
+                self._cur = bucket
+                self._cur_i = 0
+                self._activations += 1
+                self._spills += spills
+                occupancy = self._occupancy
+                occupancy[size] = occupancy.get(size, 0) + 1
+                return bucket
+            if not overflow:
+                # Nothing pending anywhere: report drained (the head
+                # stays parked; inserts only compare against it).
+                self._head_slot = head
+                self._count = 0
+                self._spills += spills
+                return None
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the queue drains or ``until`` is reached.
+
+        Returns the virtual time at which execution stopped.
+        """
+        if self._running:
+            raise SimulationError("run() is not re-entrant")
+        self._running = True
+        try:
+            if self.profile is not None:
+                self._run_profiled(until)
+            elif self.digest is not None:
+                self._run_digested(until)
+            else:
+                self._run_fast(until)
+        finally:
+            self._running = False
+        return self._now
+
+    # The three loops are structurally identical; they are kept
+    # separate so the common configurations pay for exactly the
+    # instrumentation they asked for — the digest-off loop reads no
+    # digest, the profiler-off loops read no clock.  Each consumes the
+    # active bucket by index and merges it with the near heap and the
+    # zero-delay ready lane by head comparison (seq is globally
+    # unique, so comparisons never tie past the first two fields); a
+    # bucket only activates once every other lane is drained, which
+    # the slot-monotonicity invariant makes order-exact.  An event
+    # past ``until`` is pushed onto the near heap (every source's slot
+    # is <= head, so the invariant holds).  Every exit spills
+    # ready-lane leftovers into the near heap, restoring the
+    # sortedness invariant for events scheduled outside ``run()``.
+
+    def _spill_ready(self) -> None:
+        near = self._near
+        ready = self._ready
+        while ready:
+            _heappush(near, ready.popleft())
+
+    def _run_fast(self, until: Optional[float]) -> None:
+        near = self._near
+        ready = self._ready
+        ready_popleft = ready.popleft
+        pop = _heappop
+        cur = self._cur
+        cur_i = self._cur_i
+        cur_len = len(cur)
+        stop_at = _INFINITY if until is None else until
+        try:
+            while True:
+                if cur_i < cur_len:
+                    event = cur[cur_i]
+                    if near:
+                        head = near[0]
+                        if head < event:
+                            if ready and ready[0] < head:
+                                event = ready_popleft()
+                            else:
+                                event = pop(near)
+                        elif ready and ready[0] < event:
+                            event = ready_popleft()
+                        else:
+                            cur_i += 1
+                    elif ready and ready[0] < event:
+                        event = ready_popleft()
+                    else:
+                        cur_i += 1
+                elif near:
+                    if ready and ready[0] < near[0]:
+                        event = ready_popleft()
+                    else:
+                        event = pop(near)
+                elif ready:
+                    event = ready_popleft()
+                else:
+                    nxt = self._advance_wheel()
+                    if nxt is None:
+                        break
+                    cur = nxt
+                    cur_i = 0
+                    cur_len = len(cur)
+                    continue
+                when, _seq, callback, args = event
+                if when > stop_at:
+                    _heappush(near, event)
+                    self._now = until  # type: ignore[assignment]
+                    return
+                self._now = when
+                callback(*args)
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._cur_i = cur_i
+            if ready:
+                self._spill_ready()
+
+    def _run_digested(self, until: Optional[float]) -> None:
+        near = self._near
+        pop = _heappop
+        digest = self.digest
+        func_kinds_get = digest._func_kinds.get  # type: ignore[union-attr]
+        func_kinds = digest._func_kinds  # type: ignore[union-attr]
+        name_kinds_get = digest._name_kinds.get  # type: ignore[union-attr]
+        name_kinds = digest._name_kinds  # type: ignore[union-attr]
+        pending = digest._pending  # type: ignore[union-attr]
+        # ``pending`` is mutated via clear(), never rebound, so the
+        # bound append stays valid across flushes.
+        pending_append = pending.append
+        hash_update = digest._hash.update  # type: ignore[union-attr]
+        pack = _PACK_EVENT
+        method_type = MethodType
+        ready = self._ready
+        ready_popleft = ready.popleft
+        cur = self._cur
+        cur_i = self._cur_i
+        cur_len = len(cur)
+        stop_at = _INFINITY if until is None else until
+        events = 0
+        try:
+            while True:
+                if cur_i < cur_len:
+                    event = cur[cur_i]
+                    if near:
+                        head = near[0]
+                        if head < event:
+                            if ready and ready[0] < head:
+                                event = ready_popleft()
+                            else:
+                                event = pop(near)
+                        elif ready and ready[0] < event:
+                            event = ready_popleft()
+                        else:
+                            cur_i += 1
+                    elif ready and ready[0] < event:
+                        event = ready_popleft()
+                    else:
+                        cur_i += 1
+                elif near:
+                    if ready and ready[0] < near[0]:
+                        event = ready_popleft()
+                    else:
+                        event = pop(near)
+                elif ready:
+                    event = ready_popleft()
+                else:
+                    self._cur_i = cur_i
+                    nxt = self._advance_wheel()
+                    if nxt is None:
+                        break
+                    cur = nxt
+                    cur_i = 0
+                    cur_len = len(cur)
+                    continue
+                when, seq, callback, args = event
+                if when > stop_at:
+                    _heappush(near, event)
+                    self._now = until  # type: ignore[assignment]
+                    return
+                self._now = when
+                # Inlined TraceDigest.record_event — the per-event
+                # call overhead is measurable at campaign scale.  Keep
+                # in sync with the method.
+                if type(callback) is method_type:
+                    func = callback.__func__
+                    kind_bytes = func_kinds_get(func)
+                    if kind_bytes is None:
+                        kind_bytes = _event_kind(func).encode(
+                            "utf-8", "replace")
+                        func_kinds[func] = kind_bytes
+                else:
+                    kind = getattr(callback, "__qualname__", None)
+                    if kind is None:
+                        kind = type(callback).__qualname__
+                    kind_bytes = name_kinds_get(kind)
+                    if kind_bytes is None:
+                        kind_bytes = kind.encode("utf-8", "replace")
+                        name_kinds[kind] = kind_bytes
+                pending_append(pack(when, seq))
+                pending_append(kind_bytes)
+                events += 1
+                if len(pending) >= _FLUSH_ENTRIES:
+                    hash_update(b"".join(pending))
+                    pending.clear()
+                callback(*args)
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            # Counted locally in the loop; synced even when a callback
+            # raises or the run stops at ``until``.
+            digest.events += events  # type: ignore[union-attr]
+            self._cur_i = cur_i
+            if ready:
+                self._spill_ready()
+
+    def _run_profiled(self, until: Optional[float]) -> None:
+        from time import perf_counter_ns
+
+        near = self._near
+        pop = _heappop
+        digest = self.digest
+        record = digest.record_event if digest is not None else None
+        profile = self.profile
+        profile_event = profile.record  # type: ignore[union-attr]
+        kind_of = self._kind_name
+        ready = self._ready
+        ready_popleft = ready.popleft
+        cur = self._cur
+        cur_i = self._cur_i
+        cur_len = len(cur)
+        stop_at = _INFINITY if until is None else until
+        try:
+            while True:
+                if cur_i < cur_len:
+                    event = cur[cur_i]
+                    if near:
+                        head = near[0]
+                        if head < event:
+                            if ready and ready[0] < head:
+                                event = ready_popleft()
+                            else:
+                                event = pop(near)
+                        elif ready and ready[0] < event:
+                            event = ready_popleft()
+                        else:
+                            cur_i += 1
+                    elif ready and ready[0] < event:
+                        event = ready_popleft()
+                    else:
+                        cur_i += 1
+                elif near:
+                    if ready and ready[0] < near[0]:
+                        event = ready_popleft()
+                    else:
+                        event = pop(near)
+                elif ready:
+                    event = ready_popleft()
+                else:
+                    self._cur_i = cur_i
+                    nxt = self._advance_wheel()
+                    if nxt is None:
+                        break
+                    cur = nxt
+                    cur_i = 0
+                    cur_len = len(cur)
+                    continue
+                when, seq, callback, args = event
+                if when > stop_at:
+                    _heappush(near, event)
+                    self._now = until  # type: ignore[assignment]
+                    return
+                self._now = when
+                if record is not None:
+                    record(when, seq, callback)
+                started = perf_counter_ns()
+                callback(*args)
+                profile_event(kind_of(callback),
+                              perf_counter_ns() - started)
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._cur_i = cur_i
+            if ready:
+                self._spill_ready()
+            # Publish wheel observability on the profile (digest-inert:
+            # stats reads schedule nothing).
+            profile.wheel = self.wheel_stats()  # type: ignore[union-attr]
+
+    def _kind_name(self, callback: Callable[..., None]) -> str:
+        """Memoized :func:`_event_kind` (profiler bookkeeping).
+
+        Bound methods — the overwhelming majority of callbacks — key
+        on their underlying function, a small stable set.  Everything
+        else derives its kind directly; memoizing per-call objects
+        (lambdas, bound builtins) would only grow the table.
+        """
+        if type(callback) is MethodType:
+            func = callback.__func__
+            kind = self._kind_names.get(func)
+            if kind is None:
+                kind = _event_kind(func)
+                self._kind_names[func] = kind
+            return kind
+        return _event_kind(callback)
